@@ -1,0 +1,265 @@
+package queenbee
+
+// The benchmark harness: one testing.B benchmark per experiment (E1–E13,
+// see DESIGN.md §3 — these regenerate the reproduction's tables/figures)
+// plus micro-benchmarks for the ablations (A1 intersection kernels, A3
+// replication, A4 segment merge policy) and the hot inner loops.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/dht"
+	"repro/internal/experiments"
+	"repro/internal/index"
+	"repro/internal/netsim"
+	"repro/internal/rank"
+	"repro/internal/xrand"
+)
+
+// benchExperiment runs a whole experiment per iteration; the tables land
+// in b.Logf on -v so `-bench` output stays scannable.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(1)
+		if len(tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+	}
+}
+
+func BenchmarkE1EndToEnd(b *testing.B)    { benchExperiment(b, "E1") }
+func BenchmarkE2Replication(b *testing.B) { benchExperiment(b, "E2") }
+func BenchmarkE3Resilience(b *testing.B)  { benchExperiment(b, "E3") }
+func BenchmarkE4DDoS(b *testing.B)        { benchExperiment(b, "E4") }
+func BenchmarkE5Freshness(b *testing.B)   { benchExperiment(b, "E5") }
+func BenchmarkE6Tamper(b *testing.B)      { benchExperiment(b, "E6") }
+func BenchmarkE7BeeScaling(b *testing.B)  { benchExperiment(b, "E7") }
+func BenchmarkE8PageRank(b *testing.B)    { benchExperiment(b, "E8") }
+func BenchmarkE9Intersect(b *testing.B)   { benchExperiment(b, "E9") }
+func BenchmarkE10Incentives(b *testing.B) { benchExperiment(b, "E10") }
+func BenchmarkE11Collusion(b *testing.B)  { benchExperiment(b, "E11") }
+func BenchmarkE12Scraper(b *testing.B)    { benchExperiment(b, "E12") }
+func BenchmarkE13AdMarket(b *testing.B)   { benchExperiment(b, "E13") }
+
+// --- micro-benchmarks -------------------------------------------------
+
+func BenchmarkAnalyze(b *testing.B) {
+	cfg := corpus.DefaultConfig()
+	cfg.NumDocs = 10
+	corp := corpus.Generate(cfg)
+	text := corp.Docs[0].Text
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		index.Analyze(text)
+	}
+}
+
+func BenchmarkSegmentBuild(b *testing.B) {
+	cfg := corpus.DefaultConfig()
+	cfg.NumDocs = 50
+	corp := corpus.Generate(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder := index.NewBuilder(1)
+		for _, d := range corp.Docs {
+			builder.Add(index.DocIDOf(d.URL), d.Text)
+		}
+		builder.Build()
+	}
+}
+
+func BenchmarkSegmentEncodeDecode(b *testing.B) {
+	cfg := corpus.DefaultConfig()
+	cfg.NumDocs = 50
+	corp := corpus.Generate(cfg)
+	builder := index.NewBuilder(1)
+	for _, d := range corp.Docs {
+		builder.Add(index.DocIDOf(d.URL), d.Text)
+	}
+	seg := builder.Build()
+	enc := seg.Encode()
+	b.SetBytes(int64(len(enc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data := seg.Encode()
+		if _, err := index.DecodeSegment(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSegmentMerge is ablation A4: merging a long chain of delta
+// segments (what query time pays without compaction) vs the single
+// pre-merged segment (what compaction buys).
+func BenchmarkSegmentMerge(b *testing.B) {
+	cfg := corpus.DefaultConfig()
+	cfg.NumDocs = 64
+	corp := corpus.Generate(cfg)
+	for _, chainLen := range []int{2, 8, 32} {
+		var segs []*index.Segment
+		per := len(corp.Docs) / chainLen
+		for s := 0; s < chainLen; s++ {
+			builder := index.NewBuilder(uint64(s + 1))
+			for d := s * per; d < (s+1)*per; d++ {
+				builder.Add(index.DocIDOf(corp.Docs[d].URL), corp.Docs[d].Text)
+			}
+			segs = append(segs, builder.Build())
+		}
+		b.Run(fmt.Sprintf("chain=%d", chainLen), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				index.Merge(segs)
+			}
+		})
+	}
+}
+
+// BenchmarkIntersect is ablation A1 in isolation: merge vs gallop at a
+// fixed 100:100k skew.
+func BenchmarkIntersect(b *testing.B) {
+	rng := xrand.New(1)
+	long := make([]index.DocID, 100_000)
+	v := index.DocID(0)
+	for i := range long {
+		v += index.DocID(1 + rng.Intn(2))
+		long[i] = v
+	}
+	span := int(long[len(long)-1])
+	short := make([]index.DocID, 100)
+	v = 0
+	for i := range short {
+		v += index.DocID(1 + rng.Intn(span/100))
+		short[i] = v
+	}
+	lists := [][]index.DocID{short, long}
+	b.Run("merge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			index.IntersectMerge(lists)
+		}
+	})
+	b.Run("gallop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			index.IntersectGallop(lists)
+		}
+	})
+}
+
+// BenchmarkDHTLookup measures iterative lookup cost (simulated swarm,
+// real CPU): the routing path length is the quantity of interest.
+func BenchmarkDHTLookup(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("swarm=%d", n), func(b *testing.B) {
+			net := netsim.New(netsim.DefaultConfig())
+			nodes := make([]*dht.Node, n)
+			for i := range nodes {
+				nodes[i] = dht.NewNode(net, netsim.NodeID(fmt.Sprintf("n%04d", i)), dht.DefaultConfig())
+			}
+			for _, nd := range nodes[1:] {
+				nd.Bootstrap([]dht.Contact{nodes[0].Self()})
+			}
+			for _, nd := range nodes {
+				nd.Bootstrap([]dht.Contact{nodes[0].Self()})
+				nd.RefreshBuckets(2)
+			}
+			key := dht.KeyOfString("bench-key")
+			if _, _, err := nodes[1].Put(key, []byte("value"), 1); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reader := nodes[2+i%(n-2)]
+				if _, _, _, err := reader.Get(key); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPageRank(b *testing.B) {
+	rng := xrand.New(1)
+	for _, n := range []int{100, 1000} {
+		links := make(map[string][]string, n)
+		for i := 0; i < n; i++ {
+			var out []string
+			for j := 0; j < 1+rng.Intn(4); j++ {
+				out = append(out, fmt.Sprintf("u%05d", rng.Intn(n)))
+			}
+			links[fmt.Sprintf("u%05d", i)] = out
+		}
+		g := rank.NewGraph(links)
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rank.Compute(g, rank.DefaultOptions())
+			}
+		})
+	}
+}
+
+// BenchmarkPublishPipeline measures the full creator path: store, chain,
+// quorum indexing, materialization.
+func BenchmarkPublishPipeline(b *testing.B) {
+	e := New(WithSeed(1), WithPeers(12), WithBees(3))
+	owner := e.NewAccount("bench-owner", 1_000_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		url := fmt.Sprintf("dweb://bench/%06d", i)
+		if err := e.Publish(owner, url, fmt.Sprintf("benchmark document %d body content", i), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearch measures frontend query cost on a standing index.
+func BenchmarkSearch(b *testing.B) {
+	e := New(WithSeed(1), WithPeers(12), WithBees(3))
+	owner := e.NewAccount("bench-owner", 1_000_000)
+	cfg := corpus.DefaultConfig()
+	cfg.NumDocs = 40
+	corp := corpus.Generate(cfg)
+	for _, d := range corp.Docs {
+		if err := e.Publish(owner, d.URL, d.Text, d.Links); err != nil {
+			b.Fatal(err)
+		}
+	}
+	e.RunUntilIdle()
+	queries := corp.Queries(1, 32, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Search(queries[i%len(queries)].Text, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMinHash measures the scraper-defense signature cost.
+func BenchmarkMinHash(b *testing.B) {
+	cfg := corpus.DefaultConfig()
+	cfg.NumDocs = 2
+	corp := corpus.Generate(cfg)
+	text := corp.Docs[0].Text
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		index.SignatureOf(text)
+	}
+}

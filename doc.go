@@ -1,0 +1,23 @@
+// Package queenbee is a simulation-complete implementation of QueenBee,
+// the decentralized search engine for the Decentralized Web proposed in
+// "Decentralized Search on Decentralized Web" (Lai, Liu, Lo, Kao, Yiu —
+// CIDR 2019, arXiv:1809.00939).
+//
+// The package is a facade over the full stack in internal/: a simulated
+// P2P network, a Kademlia DHT, an IPFS-like content-addressed store, a
+// proof-of-authority blockchain carrying the QueenBee smart contract
+// (publishing, worker-bee staking, commit–reveal task verification, the
+// ad marketplace and the honey reward flows), a sharded inverted index,
+// distributed PageRank, and the query frontend.
+//
+// A minimal session:
+//
+//	engine := queenbee.New(queenbee.WithBees(4))
+//	alice := engine.NewAccount("alice", 1_000)
+//	engine.Publish(alice, "dweb://hive", "bees make honey", nil)
+//	engine.Run(3) // worker bees index the publish
+//	results, _ := engine.Search("honey", 10)
+//
+// Everything runs on one machine against a deterministic virtual clock:
+// no real network, no real time, fully reproducible per seed.
+package queenbee

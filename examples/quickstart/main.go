@@ -1,0 +1,58 @@
+// Quickstart: the smallest complete QueenBee session — publish a page
+// through the smart contract, let the worker bees index it, search it,
+// and fetch the tamper-proof content back.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	queenbee "repro"
+)
+
+func main() {
+	// Boot a small simulated deployment: 12 DWeb devices, 3 worker bees.
+	engine := queenbee.New(
+		queenbee.WithSeed(42),
+		queenbee.WithPeers(12),
+		queenbee.WithBees(3),
+	)
+
+	// A content creator with some honey.
+	alice := engine.NewAccount("alice", 1_000)
+
+	// Publish: content goes to the DWeb store, the URL→CID binding and
+	// the index task go on chain. No crawler will ever visit this page —
+	// the publish event itself drives indexing.
+	err := engine.Publish(alice,
+		"dweb://alice/honey-guide",
+		"A practical guide to harvesting honey from decentralized hives.",
+		nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Worker bees pick up the index task, vote on the result by
+	// commit-reveal, and materialize the winning segment into the DHT.
+	engine.RunUntilIdle()
+
+	// Search from any device.
+	results, _, err := engine.Search("harvesting honey", 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range results {
+		fmt.Printf("%d. %s (score %.3f)\n", i+1, r.URL, r.Score)
+	}
+
+	// Fetch the content back — hash-verified end to end.
+	content, err := engine.Fetch(results[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("content:", content)
+
+	s := engine.Stats()
+	fmt.Printf("pages=%d tasks=%d height=%d supply=%d\n",
+		s.Pages, s.TasksFinalized, s.Height, s.HoneySupply)
+}

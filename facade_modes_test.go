@@ -1,0 +1,126 @@
+package queenbee
+
+import (
+	"strings"
+	"testing"
+)
+
+func modesEngine(t *testing.T) (*Engine, *Account) {
+	t.Helper()
+	e := New(WithSeed(21), WithPeers(10), WithBees(3))
+	alice := e.NewAccount("alice", 1000)
+	docs := map[string]string{
+		"dweb://m1": "solar panels convert sunlight into electricity",
+		"dweb://m2": "wind turbines convert moving air into electricity",
+		"dweb://m3": "sunlight exposure affects sleep patterns",
+	}
+	for url, text := range docs {
+		if err := e.Publish(alice, url, text, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.RunUntilIdle()
+	return e, alice
+}
+
+func TestFacadeSearchAny(t *testing.T) {
+	e, _ := modesEngine(t)
+	results, _, err := e.SearchAny("turbines panels", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("OR results = %+v", results)
+	}
+}
+
+func TestFacadeSearchPhrase(t *testing.T) {
+	e, _ := modesEngine(t)
+	// "convert sunlight" is adjacent only in m1; m3 has "sunlight" in
+	// another context.
+	results, _, err := e.SearchPhrase("convert sunlight", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].URL != "dweb://m1" {
+		t.Fatalf("phrase results = %+v", results)
+	}
+	// Non-adjacent order fails.
+	results, _, err = e.SearchPhrase("sunlight convert", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("reversed phrase should not match: %+v", results)
+	}
+}
+
+func TestFacadeSearchSnippets(t *testing.T) {
+	e, _ := modesEngine(t)
+	results, _, err := e.SearchSnippets("turbines", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("results = %+v", results)
+	}
+	if !strings.Contains(results[0].Snippet, "«") {
+		t.Fatalf("snippet missing match marker: %q", results[0].Snippet)
+	}
+}
+
+func TestFacadeAndVsOrSubset(t *testing.T) {
+	e, _ := modesEngine(t)
+	and, _, err := e.Search("convert electricity", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, _, err := e.SearchAny("convert electricity", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(and) > len(or) {
+		t.Fatalf("AND (%d) should never exceed OR (%d)", len(and), len(or))
+	}
+	orURLs := map[string]bool{}
+	for _, r := range or {
+		orURLs[r.URL] = true
+	}
+	for _, r := range and {
+		if !orURLs[r.URL] {
+			t.Fatalf("AND result %s missing from OR set", r.URL)
+		}
+	}
+}
+
+func TestFacadeSwarmingOption(t *testing.T) {
+	e := New(WithSeed(31), WithPeers(8), WithBees(2), WithSwarming(true))
+	if !e.Cluster.Config().Peer.Swarming {
+		t.Fatal("WithSwarming not applied")
+	}
+	alice := e.NewAccount("alice", 1000)
+	if err := e.Publish(alice, "dweb://sw", "swarming fetch still indexes fine", nil); err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntilIdle()
+	results, _, err := e.Search("swarming", 5)
+	if err != nil || len(results) != 1 {
+		t.Fatalf("results=%v err=%v", results, err)
+	}
+}
+
+func TestFacadeStakeWeightedOption(t *testing.T) {
+	e := New(WithSeed(32), WithPeers(8), WithBees(3), WithStakeWeightedQuorum(true))
+	if !e.Cluster.Config().Contract.StakeWeightedQuorum {
+		t.Fatal("WithStakeWeightedQuorum not applied")
+	}
+	alice := e.NewAccount("alice", 1000)
+	if err := e.Publish(alice, "dweb://sq", "stake weighted quorum works", nil); err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntilIdle()
+	s := e.Stats()
+	if s.TasksFinalized != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

@@ -1,0 +1,205 @@
+// Package attack orchestrates the two attacks the paper predicts for
+// decentralized search engines, against the defenses QueenBee deploys:
+//
+//   - collusion attack (E11): colluding worker bees reveal an agreed
+//     wrong digest, trying to overturn quorum voting and corrupt the
+//     index; the defense is commit–reveal majority + slashing;
+//   - scraper-site attack (E12): a site mirrors popular content to farm
+//     popularity honey and ad revenue; the defense is MinHash
+//     near-duplicate demotion inside the verified rank computation.
+package attack
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/contracts"
+	"repro/internal/core"
+	"repro/internal/index"
+)
+
+// CollusionResult is one cell of the collusion sweep.
+type CollusionResult struct {
+	Colluders     int
+	Quorum        int
+	Tasks         int
+	Corrupted     int // finalized with a non-honest digest
+	Failed        int // no majority
+	HonestWins    int
+	ColluderStake uint64 // total stake colluders lost (the attack cost)
+	HonestSlashes int
+	ColluderSlash int
+}
+
+// CorruptionRate returns corrupted / total finalized-or-failed tasks.
+func (r CollusionResult) CorruptionRate() float64 {
+	if r.Tasks == 0 {
+		return 0
+	}
+	return float64(r.Corrupted) / float64(r.Tasks)
+}
+
+// RunCollusion publishes numDocs pages into a cluster where `colluders`
+// of numBees bees collude, with the given quorum size, and reports how
+// many index tasks the attackers corrupted.
+func RunCollusion(seed uint64, numBees, colluders, quorum, numDocs int) CollusionResult {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.NumPeers = 8
+	cfg.NumBees = numBees
+	cfg.Contract.Quorum = quorum
+	c := core.NewCluster(cfg)
+	for i := 0; i < colluders && i < len(c.Bees); i++ {
+		c.Bees[i].Colluding = true
+	}
+	stakeBefore := colluderStake(c)
+
+	alice := c.NewAccount("publisher", 10_000)
+	c.Seal()
+	texts := make(map[string]string, numDocs)
+	for i := 0; i < numDocs; i++ {
+		url := fmt.Sprintf("dweb://site/%03d", i)
+		text := fmt.Sprintf("document %03d about decentralized honey markets and colony economics", i)
+		texts[url] = text
+		if _, err := c.Publish(alice, c.Peers[i%len(c.Peers)], url, text, nil); err != nil {
+			panic(err)
+		}
+	}
+	c.Seal()
+	c.RunUntilIdle(10)
+
+	res := CollusionResult{Colluders: colluders, Quorum: quorum}
+	for url, text := range texts {
+		taskID := fmt.Sprintf("idx:%s:1", url)
+		task, ok := c.QB.TaskInfo(taskID)
+		if !ok {
+			continue
+		}
+		res.Tasks++
+		switch task.Status {
+		case contracts.StatusFailed:
+			res.Failed++
+		case contracts.StatusFinalized:
+			honest := honestIndexDigest(url, text, task.CreatedAt)
+			if task.WinningDigest == honest {
+				res.HonestWins++
+			} else {
+				res.Corrupted++
+			}
+		}
+	}
+	res.ColluderStake = stakeBefore - colluderStake(c)
+	for i, b := range c.Bees {
+		info, ok := c.QB.WorkerInfo(b.Account.Address())
+		if !ok {
+			continue
+		}
+		if i < colluders {
+			res.ColluderSlash += info.Slashes
+		} else {
+			res.HonestSlashes += info.Slashes
+		}
+	}
+	return res
+}
+
+func colluderStake(c *core.Cluster) uint64 {
+	var total uint64
+	for _, b := range c.Bees {
+		if b.Colluding {
+			if info, ok := c.QB.WorkerInfo(b.Account.Address()); ok {
+				total += info.Stake
+			}
+		}
+	}
+	return total
+}
+
+// honestIndexDigest recomputes the digest an honest bee produces for a
+// publish task (the oracle the corruption metric compares against).
+func honestIndexDigest(url, text string, createdAt uint64) string {
+	b := index.NewBuilder(createdAt)
+	b.Add(index.DocIDOf(url), text)
+	return index.DigestOf(b.Build().Encode())
+}
+
+// ScraperResult reports the economics of the scraper-site attack.
+type ScraperResult struct {
+	DefenseOn      bool
+	OriginalHoney  uint64 // popularity rewards earned by the original site
+	ScraperHoney   uint64 // popularity rewards earned by the mirror
+	OriginalRank   float64
+	ScraperRank    float64
+	FalseDemotions int // legitimate distinct pages demoted to rank 0
+}
+
+// RunScraper publishes an original popular page plus legitimate distinct
+// pages, then a scraper mirror of the popular page, computes ranks and
+// pays popularity rewards; it reports who earned what.
+func RunScraper(seed uint64, defense bool) ScraperResult {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.NumPeers = 8
+	cfg.NumBees = 3
+	// Above base rank (~0.08 here) so only genuinely linked-to pages
+	// qualify for popularity honey.
+	cfg.Contract.PopularityThreshold = 0.1
+	c := core.NewCluster(cfg)
+	for _, b := range c.Bees {
+		b.DetectDuplicates = defense
+	}
+	author := c.NewAccount("author", 10_000)
+	scraper := c.NewAccount("scraper", 10_000)
+	c.Seal()
+
+	popular := "the definitive guide to decentralized search engines on the decentralized web " +
+		strings.Repeat("queen bee worker bee honey index rank ", 12)
+	if _, err := c.Publish(author, c.Peers[0], "dweb://original", popular, nil); err != nil {
+		panic(err)
+	}
+	// Legitimate distinct pages linking to the original (making it popular).
+	for i := 0; i < 5; i++ {
+		text := fmt.Sprintf("independent review number %d praising the guide with original commentary and analysis of topic %d", i, i*7)
+		if _, err := c.Publish(author, c.Peers[1], fmt.Sprintf("dweb://review/%d", i), text, []string{"dweb://original"}); err != nil {
+			panic(err)
+		}
+	}
+	c.Seal()
+	c.RunUntilIdle(10)
+
+	// The scraper mirrors the popular page, and links to itself from a
+	// second spam page to gather rank.
+	if _, err := c.Publish(scraper, c.Peers[2], "dweb://mirror", popular+" mirrored", nil); err != nil {
+		panic(err)
+	}
+	if _, err := c.Publish(scraper, c.Peers[2], "dweb://linkfarm", "farm page "+strings.Repeat("mirror backlink ", 20), []string{"dweb://mirror"}); err != nil {
+		panic(err)
+	}
+	c.Seal()
+	c.RunUntilIdle(10)
+
+	epoch := c.StartRankEpoch(2)
+	c.RunUntilIdle(10)
+
+	authorBefore := c.Chain.State().Balance(author.Address())
+	scraperBefore := c.Chain.State().Balance(scraper.Address())
+	c.PayPopularity(epoch)
+
+	res := ScraperResult{
+		DefenseOn:     defense,
+		OriginalHoney: c.Chain.State().Balance(author.Address()) - authorBefore,
+		ScraperHoney:  c.Chain.State().Balance(scraper.Address()) - scraperBefore,
+		OriginalRank:  c.QB.PageRank("dweb://original"),
+		ScraperRank:   c.QB.PageRank("dweb://mirror"),
+	}
+	for i := 0; i < 5; i++ {
+		url := fmt.Sprintf("dweb://review/%d", i)
+		if _, ok := c.QB.Page(url); ok && c.QB.PageRank(url) == 0 {
+			// Reviews get rank 0 only when wrongly flagged as duplicates
+			// (they have positive rank otherwise: the original links back? no —
+			// they have no in-links, so base rank > 0 from teleportation).
+			res.FalseDemotions++
+		}
+	}
+	return res
+}

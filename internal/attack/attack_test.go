@@ -1,0 +1,106 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/index"
+)
+
+func TestCollusionMinorityDefeated(t *testing.T) {
+	res := RunCollusion(1, 5, 1, 3, 6)
+	if res.Tasks != 6 {
+		t.Fatalf("tasks = %d, want 6", res.Tasks)
+	}
+	if res.Corrupted != 0 {
+		t.Fatalf("minority colluder corrupted %d tasks", res.Corrupted)
+	}
+	if res.CorruptionRate() != 0 {
+		t.Fatalf("corruption rate = %v", res.CorruptionRate())
+	}
+}
+
+func TestCollusionMajorityWins(t *testing.T) {
+	// All bees collude: every task must be corrupted.
+	res := RunCollusion(1, 3, 3, 3, 4)
+	if res.Corrupted != res.Tasks || res.Tasks == 0 {
+		t.Fatalf("full collusion should corrupt all: %+v", res)
+	}
+}
+
+func TestCollusionCostsStake(t *testing.T) {
+	// Minority colluders get slashed on every task they are assigned.
+	res := RunCollusion(2, 5, 1, 3, 8)
+	if res.ColluderSlash == 0 {
+		t.Fatalf("colluder never slashed: %+v", res)
+	}
+	if res.ColluderStake == 0 {
+		t.Fatalf("attack cost zero stake: %+v", res)
+	}
+}
+
+func TestLargerQuorumResistsMore(t *testing.T) {
+	// With 2 colluders of 5 bees: quorum 5 gives the 3 honest bees the
+	// majority on every task; quorum 3 lets random assignment sometimes
+	// pick 2 colluders.
+	q5 := RunCollusion(3, 5, 2, 5, 10)
+	if q5.Corrupted != 0 {
+		t.Fatalf("quorum 5 with 2/5 colluders corrupted %d", q5.Corrupted)
+	}
+	q3 := RunCollusion(3, 5, 2, 3, 10)
+	if q3.Corrupted <= q5.Corrupted {
+		t.Logf("note: quorum 3 corruption %d not above quorum 5 %d (seed-dependent)", q3.Corrupted, q5.Corrupted)
+	}
+}
+
+func TestScraperUndefendedEarnsHoney(t *testing.T) {
+	res := RunScraper(1, false)
+	if res.ScraperRank <= 0 {
+		t.Fatalf("undefended mirror rank = %v, want > 0", res.ScraperRank)
+	}
+	if res.ScraperHoney == 0 {
+		t.Fatalf("undefended scraper earned nothing: %+v — attack should pay", res)
+	}
+}
+
+func TestScraperDefenseBlocksEarnings(t *testing.T) {
+	res := RunScraper(1, true)
+	if res.ScraperRank != 0 {
+		t.Fatalf("defended mirror rank = %v, want 0", res.ScraperRank)
+	}
+	if res.ScraperHoney != 0 {
+		t.Fatalf("defended scraper still earned %d", res.ScraperHoney)
+	}
+	if res.OriginalHoney == 0 {
+		t.Fatal("original author should still earn popularity honey")
+	}
+	if res.FalseDemotions != 0 {
+		t.Fatalf("defense demoted %d legitimate pages", res.FalseDemotions)
+	}
+}
+
+func TestMinHashSimilarityBehaviour(t *testing.T) {
+	a := index.SignatureOf("the quick brown fox jumps over the lazy dog repeatedly every single morning")
+	aCopy := index.SignatureOf("the quick brown fox jumps over the lazy dog repeatedly every single morning")
+	if sim := a.Similarity(aCopy); sim != 1 {
+		t.Fatalf("identical texts similarity = %v, want 1", sim)
+	}
+	b := index.SignatureOf("completely unrelated discussion of blockchain consensus protocols and token economics")
+	if sim := a.Similarity(b); sim > 0.3 {
+		t.Fatalf("unrelated texts similarity = %v, want low", sim)
+	}
+	// Near-duplicate: small edit.
+	c := index.SignatureOf("the quick brown fox jumps over the lazy dog repeatedly every single evening")
+	if sim := a.Similarity(c); sim < 0.5 {
+		t.Fatalf("near-duplicate similarity = %v, want high", sim)
+	}
+}
+
+func TestHonestDigestOracleMatchesBee(t *testing.T) {
+	// The oracle must reproduce exactly what an honest bee computes.
+	b := index.NewBuilder(7)
+	b.Add(index.DocIDOf("dweb://x"), "some text body")
+	want := index.DigestOf(b.Build().Encode())
+	if got := honestIndexDigest("dweb://x", "some text body", 7); got != want {
+		t.Fatal("oracle diverges from honest bee computation")
+	}
+}

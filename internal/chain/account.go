@@ -1,0 +1,95 @@
+// Package chain implements the cryptocurrency substrate the paper assumes:
+// an account-model blockchain with ed25519-signed transactions, a
+// proof-of-authority sealer, a deterministic contract runtime, an event
+// log, and the "honey" token ledger. It stands in for Ethereum: QueenBee
+// needs autonomous, ordered, attributable state transitions plus a token,
+// not EVM compatibility.
+package chain
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// Address identifies an account: the truncated hash of its public key.
+type Address [20]byte
+
+// AddressOfPub derives the address of an ed25519 public key.
+func AddressOfPub(pub ed25519.PublicKey) Address {
+	sum := sha256.Sum256(pub)
+	var a Address
+	copy(a[:], sum[:20])
+	return a
+}
+
+// String returns the hex form of the address.
+func (a Address) String() string { return hex.EncodeToString(a[:]) }
+
+// Short returns an 8-hex-digit prefix for logs.
+func (a Address) Short() string { return hex.EncodeToString(a[:4]) }
+
+// IsZero reports whether the address is unset.
+func (a Address) IsZero() bool { return a == Address{} }
+
+// EscrowAddress derives the internal account that holds a contract's
+// escrowed funds. It has no private key, so funds can only move through
+// contract execution.
+func EscrowAddress(contract string) Address {
+	sum := sha256.Sum256([]byte("escrow:" + contract))
+	var a Address
+	copy(a[:], sum[:20])
+	return a
+}
+
+// Account is a keypair an actor uses to sign transactions.
+type Account struct {
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+	addr Address
+}
+
+// NewAccount creates an account with randomness drawn from rng, keeping
+// key generation deterministic per seed.
+func NewAccount(rng *xrand.RNG) *Account {
+	seed := make([]byte, ed25519.SeedSize)
+	rng.Bytes(seed)
+	priv := ed25519.NewKeyFromSeed(seed)
+	pub := priv.Public().(ed25519.PublicKey)
+	return &Account{pub: pub, priv: priv, addr: AddressOfPub(pub)}
+}
+
+// NewNamedAccount derives an account deterministically from a base seed
+// and a role name.
+func NewNamedAccount(seed uint64, name string) *Account {
+	return NewAccount(xrand.NewNamed(seed, "account:"+name))
+}
+
+// Address returns the account's address.
+func (a *Account) Address() Address { return a.addr }
+
+// PublicKey returns the account's public key.
+func (a *Account) PublicKey() ed25519.PublicKey { return a.pub }
+
+// Sign signs a digest.
+func (a *Account) Sign(digest []byte) []byte {
+	return ed25519.Sign(a.priv, digest)
+}
+
+// verifySig checks a signature over a digest and that the public key
+// matches the claimed address.
+func verifySig(addr Address, pub ed25519.PublicKey, digest, sig []byte) error {
+	if len(pub) != ed25519.PublicKeySize {
+		return fmt.Errorf("chain: bad public key size %d", len(pub))
+	}
+	if AddressOfPub(pub) != addr {
+		return fmt.Errorf("chain: public key does not match address %s", addr.Short())
+	}
+	if !ed25519.Verify(pub, digest, sig) {
+		return fmt.Errorf("chain: invalid signature for %s", addr.Short())
+	}
+	return nil
+}

@@ -1,0 +1,351 @@
+package chain
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Chain errors.
+var (
+	ErrUnknownContract = errors.New("chain: unknown contract")
+	ErrTxRejected      = errors.New("chain: transaction rejected")
+)
+
+// Contract is the interface business logic implements. Execute must follow
+// check-then-act: validate everything before mutating contract state, and
+// perform all ledger movement through the TxContext (which buffers until
+// the whole call succeeds).
+type Contract interface {
+	// Name is the registration key transactions address.
+	Name() string
+	// Execute runs one method invocation.
+	Execute(ctx *TxContext, method string, params []byte) error
+}
+
+// Event is one log entry a contract emitted. Worker bees and frontends
+// poll events to learn about publishes, task assignments and payouts.
+type Event struct {
+	Height   uint64
+	Contract string
+	Type     string
+	Attrs    map[string]string
+}
+
+// Block is one sealed batch of transactions.
+type Block struct {
+	Height   uint64
+	PrevHash [32]byte
+	TxRoot   [32]byte // Merkle root over transaction hashes
+	Time     time.Time
+	Txs      []*Tx
+	Hash     [32]byte
+}
+
+func (b *Block) computeTxRoot() [32]byte {
+	hashes := make([][32]byte, len(b.Txs))
+	for i, tx := range b.Txs {
+		hashes[i] = tx.Hash()
+	}
+	return MerkleRoot(hashes)
+}
+
+func (b *Block) computeHash() [32]byte {
+	h := sha256.New()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], b.Height)
+	h.Write(buf[:])
+	h.Write(b.PrevHash[:])
+	h.Write(b.TxRoot[:])
+	binary.BigEndian.PutUint64(buf[:], uint64(b.Time.UnixNano()))
+	h.Write(buf[:])
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Receipt reports the outcome of one transaction in a sealed block.
+type Receipt struct {
+	TxHash [32]byte
+	Height uint64
+	OK     bool
+	Err    string
+}
+
+// Chain is the proof-of-authority blockchain: a single deterministic
+// sealer (the simulation driver) orders transactions into blocks. Safe
+// for concurrent use.
+type Chain struct {
+	mu        sync.Mutex
+	clock     *vclock.Clock
+	state     *State
+	contracts map[string]Contract
+	minters   map[string]bool
+	blocks    []*Block
+	pending   []*Tx
+	events    []Event
+	receipts  map[[32]byte]*Receipt
+}
+
+// New creates a chain with a genesis block and the given initial
+// allocations (minted supply).
+func New(clock *vclock.Clock, genesis map[Address]uint64) *Chain {
+	c := &Chain{
+		clock:     clock,
+		state:     newState(),
+		contracts: make(map[string]Contract),
+		minters:   make(map[string]bool),
+		receipts:  make(map[[32]byte]*Receipt),
+	}
+	for a, amt := range genesis {
+		c.state.balances[a] += amt
+		c.state.supply += amt
+	}
+	gen := &Block{Height: 0, Time: clock.Now()}
+	gen.Hash = gen.computeHash()
+	c.blocks = append(c.blocks, gen)
+	return c
+}
+
+// RegisterContract installs a contract. Minter contracts may create new
+// honey (the paper's publish/popularity rewards are minted).
+func (c *Chain) RegisterContract(ct Contract, minter bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.contracts[ct.Name()] = ct
+	c.minters[ct.Name()] = minter
+}
+
+// Submit queues a transaction after stateless verification (signature and
+// address binding). Nonce and funds are checked at seal time.
+func (c *Chain) Submit(tx *Tx) error {
+	if err := tx.Verify(); err != nil {
+		return fmt.Errorf("%w: %v", ErrTxRejected, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pending = append(c.pending, tx)
+	return nil
+}
+
+// PendingCount returns the number of queued transactions.
+func (c *Chain) PendingCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Seal orders all pending transactions into a new block, applying each in
+// submission order. Failed transactions are included with a failure
+// receipt but leave no state change. Returns the sealed block.
+func (c *Chain) Seal() *Block {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	prev := c.blocks[len(c.blocks)-1]
+	blk := &Block{
+		Height:   prev.Height + 1,
+		PrevHash: prev.Hash,
+		Time:     c.clock.Now(),
+		Txs:      c.pending,
+	}
+	blk.TxRoot = blk.computeTxRoot()
+	c.pending = nil
+
+	for _, tx := range blk.Txs {
+		err := c.applyLocked(tx, blk.Height)
+		r := &Receipt{TxHash: tx.Hash(), Height: blk.Height, OK: err == nil}
+		if err != nil {
+			r.Err = err.Error()
+		}
+		c.receipts[tx.Hash()] = r
+	}
+	blk.Hash = blk.computeHash()
+	c.blocks = append(c.blocks, blk)
+	return blk
+}
+
+// applyLocked executes one transaction against the state. Caller holds mu.
+func (c *Chain) applyLocked(tx *Tx, height uint64) error {
+	if c.state.nonces[tx.From] != tx.Nonce {
+		return fmt.Errorf("%w: have %d, tx %d", ErrBadNonce, c.state.nonces[tx.From], tx.Nonce)
+	}
+	// Nonce advances even for failed transactions (as in Ethereum) so a
+	// failed call cannot be replayed.
+	c.state.nonces[tx.From]++
+
+	buf := newOpBuffer(c.state)
+	if tx.Contract == "" {
+		if err := buf.transfer(tx.From, tx.To, tx.Value); err != nil {
+			return err
+		}
+		buf.commit()
+		return nil
+	}
+
+	ct, ok := c.contracts[tx.Contract]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownContract, tx.Contract)
+	}
+	escrow := EscrowAddress(tx.Contract)
+	if err := buf.transfer(tx.From, escrow, tx.Value); err != nil {
+		return err
+	}
+	ctx := &TxContext{
+		chain:    c,
+		buf:      buf,
+		Sender:   tx.From,
+		Value:    tx.Value,
+		Height:   height,
+		Contract: tx.Contract,
+		escrow:   escrow,
+		isMinter: c.minters[tx.Contract],
+	}
+	if err := ct.Execute(ctx, tx.Method, tx.Params); err != nil {
+		return err
+	}
+	buf.commit()
+	c.events = append(c.events, ctx.pendingEvents...)
+	return nil
+}
+
+// Height returns the latest block height.
+func (c *Chain) Height() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.blocks[len(c.blocks)-1].Height
+}
+
+// BlockAt returns the block at a height, or nil.
+func (c *Chain) BlockAt(h uint64) *Block {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h >= uint64(len(c.blocks)) {
+		return nil
+	}
+	return c.blocks[h]
+}
+
+// Receipt returns the receipt for a transaction hash, or nil if unknown.
+func (c *Chain) Receipt(txHash [32]byte) *Receipt {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.receipts[txHash]
+}
+
+// State returns a read-only view of the ledger. Callers must not mutate.
+func (c *Chain) State() *State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// EventsSince returns all events from blocks with height > h, plus the
+// current height. Pollers pass their last seen height.
+func (c *Chain) EventsSince(h uint64) ([]Event, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Event
+	for _, e := range c.events {
+		if e.Height > h {
+			out = append(out, e)
+		}
+	}
+	return out, c.blocks[len(c.blocks)-1].Height
+}
+
+// Events returns every event (test helper).
+func (c *Chain) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// VerifyIntegrity rechecks the hash chain and every signature. It returns
+// an error describing the first violation found, demonstrating the
+// tamper-evidence of the ledger.
+func (c *Chain) VerifyIntegrity() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, blk := range c.blocks {
+		if blk.computeTxRoot() != blk.TxRoot {
+			return fmt.Errorf("chain: block %d tx-root mismatch", blk.Height)
+		}
+		if blk.computeHash() != blk.Hash {
+			return fmt.Errorf("chain: block %d hash mismatch", blk.Height)
+		}
+		if i > 0 && blk.PrevHash != c.blocks[i-1].Hash {
+			return fmt.Errorf("chain: block %d prev-hash mismatch", blk.Height)
+		}
+		for _, tx := range blk.Txs {
+			if err := tx.Verify(); err != nil {
+				return fmt.Errorf("chain: block %d: %w", blk.Height, err)
+			}
+		}
+	}
+	return nil
+}
+
+// TxContext is the capability surface a contract sees during Execute.
+// Ledger mutations buffer until the call completes successfully.
+type TxContext struct {
+	chain    *Chain
+	buf      *opBuffer
+	escrow   Address
+	isMinter bool
+
+	// Sender is the externally owned account that signed the transaction.
+	Sender Address
+	// Value is the honey attached to the call (already moved to escrow).
+	Value uint64
+	// Height is the block being sealed.
+	Height uint64
+	// Contract is the executing contract's name.
+	Contract string
+
+	pendingEvents []Event
+}
+
+// Escrow returns the contract's escrow address.
+func (ctx *TxContext) Escrow() Address { return ctx.escrow }
+
+// EscrowBalance returns the effective escrow balance including buffered
+// operations in this call.
+func (ctx *TxContext) EscrowBalance() uint64 { return ctx.buf.effective(ctx.escrow) }
+
+// BalanceOf returns an account's effective balance.
+func (ctx *TxContext) BalanceOf(a Address) uint64 { return ctx.buf.effective(a) }
+
+// PayFromEscrow moves honey from the contract's escrow to an account.
+func (ctx *TxContext) PayFromEscrow(to Address, amt uint64) error {
+	return ctx.buf.transfer(ctx.escrow, to, amt)
+}
+
+// Mint creates new honey. Only contracts registered as minters may mint.
+func (ctx *TxContext) Mint(to Address, amt uint64) error {
+	if !ctx.isMinter {
+		return ErrNotMinter
+	}
+	ctx.buf.mintTo(to, amt)
+	return nil
+}
+
+// BurnFromEscrow destroys honey held in escrow (e.g. slashed stakes).
+func (ctx *TxContext) BurnFromEscrow(amt uint64) error {
+	return ctx.buf.burnFrom(ctx.escrow, amt)
+}
+
+// Emit records an event, published only if the call succeeds.
+func (ctx *TxContext) Emit(eventType string, attrs map[string]string) {
+	ctx.pendingEvents = append(ctx.pendingEvents, Event{
+		Height:   ctx.Height,
+		Contract: ctx.Contract,
+		Type:     eventType,
+		Attrs:    attrs,
+	})
+}

@@ -1,0 +1,113 @@
+package chain
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+)
+
+// Tx is a signed transaction. A Tx either transfers honey (Contract == "")
+// or invokes Method on a registered contract, optionally attaching Value
+// honey that moves into the contract's escrow before execution.
+type Tx struct {
+	From     Address
+	Nonce    uint64
+	Contract string // "" for a plain transfer
+	Method   string
+	Params   []byte // JSON-encoded method parameters
+	To       Address
+	Value    uint64
+
+	PubKey ed25519.PublicKey
+	Sig    []byte
+}
+
+// WireSize approximates the transaction's on-wire size.
+func (t *Tx) WireSize() int {
+	return 20 + 8 + len(t.Contract) + len(t.Method) + len(t.Params) + 20 + 8 + 32 + 64
+}
+
+// SigHash returns the digest the sender signs: every field except the
+// signature material, in a fixed order.
+func (t *Tx) SigHash() []byte {
+	h := sha256.New()
+	h.Write(t.From[:])
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], t.Nonce)
+	h.Write(buf[:])
+	h.Write([]byte(t.Contract))
+	h.Write([]byte{0})
+	h.Write([]byte(t.Method))
+	h.Write([]byte{0})
+	h.Write(t.Params)
+	h.Write(t.To[:])
+	binary.BigEndian.PutUint64(buf[:], t.Value)
+	h.Write(buf[:])
+	return h.Sum(nil)
+}
+
+// Hash returns the full transaction hash (including signature).
+func (t *Tx) Hash() [32]byte {
+	h := sha256.New()
+	h.Write(t.SigHash())
+	h.Write(t.Sig)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Verify checks the signature and address binding.
+func (t *Tx) Verify() error {
+	return verifySig(t.From, t.PubKey, t.SigHash(), t.Sig)
+}
+
+// EncodeParams marshals contract-method parameters. Parameters must be
+// JSON-encodable structs with no map fields whose order could differ.
+func EncodeParams(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("chain: encoding params: %v", err))
+	}
+	return b
+}
+
+// DecodeParams unmarshals contract-method parameters into out.
+func DecodeParams(data []byte, out any) error {
+	if len(data) == 0 {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("chain: decoding params: %w", err)
+	}
+	return nil
+}
+
+// NewTransfer builds and signs a plain honey transfer.
+func NewTransfer(from *Account, nonce uint64, to Address, amount uint64) *Tx {
+	tx := &Tx{
+		From:   from.Address(),
+		Nonce:  nonce,
+		To:     to,
+		Value:  amount,
+		PubKey: from.PublicKey(),
+	}
+	tx.Sig = from.Sign(tx.SigHash())
+	return tx
+}
+
+// NewCall builds and signs a contract invocation.
+func NewCall(from *Account, nonce uint64, contract, method string, params any, value uint64) *Tx {
+	tx := &Tx{
+		From:     from.Address(),
+		Nonce:    nonce,
+		Contract: contract,
+		Method:   method,
+		Params:   EncodeParams(params),
+		Value:    value,
+		PubKey:   from.PublicKey(),
+	}
+	tx.Sig = from.Sign(tx.SigHash())
+	return tx
+}

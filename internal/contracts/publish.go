@@ -1,0 +1,125 @@
+package contracts
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/chain"
+)
+
+// PageRecord is the on-chain registration of one page version. The
+// content itself lives in the DWeb store under CID; the chain holds the
+// authoritative URL→CID binding and ownership.
+type PageRecord struct {
+	URL    string
+	Owner  chain.Address
+	CID    string // hex root CID in the content store
+	Seq    uint64 // bumped on every re-publish
+	Height uint64 // block height of the latest version
+	Links  []string
+}
+
+// PublishParams registers or updates a page.
+type PublishParams struct {
+	URL   string
+	CID   string
+	Links []string
+}
+
+// execPublish records the page version and creates an index task assigned
+// to a quorum of worker bees. This is the paper's "no-crawling" path: the
+// index update is triggered by the publish transaction itself.
+func (q *QueenBee) execPublish(ctx *chain.TxContext, params []byte) error {
+	var p PublishParams
+	if err := chain.DecodeParams(params, &p); err != nil {
+		return err
+	}
+	if p.URL == "" {
+		return fmt.Errorf("queenbee: publish with empty URL")
+	}
+	if p.CID == "" {
+		return fmt.Errorf("queenbee: publish %q with empty CID", p.URL)
+	}
+	rec, exists := q.pages[p.URL]
+	if exists && rec.Owner != ctx.Sender {
+		return fmt.Errorf("queenbee: %q is owned by %s", p.URL, rec.Owner.Short())
+	}
+
+	if !exists {
+		rec = &PageRecord{URL: p.URL, Owner: ctx.Sender}
+		q.pages[p.URL] = rec
+	}
+	rec.Seq++
+	rec.CID = p.CID
+	rec.Height = ctx.Height
+	rec.Links = append([]string(nil), p.Links...)
+
+	ctx.Emit(EventPublished, map[string]string{
+		"url": p.URL,
+		"cid": p.CID,
+		"seq": strconv.FormatUint(rec.Seq, 10),
+	})
+
+	taskID := fmt.Sprintf("idx:%s:%d", p.URL, rec.Seq)
+	q.createTaskLocked(ctx, taskID, TaskIndex, map[string]string{
+		"url": p.URL,
+		"cid": p.CID,
+		"seq": strconv.FormatUint(rec.Seq, 10),
+	})
+	return nil
+}
+
+// Page returns the registration record for a URL (engine read path).
+func (q *QueenBee) Page(url string) (PageRecord, bool) {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	rec, ok := q.pages[url]
+	if !ok {
+		return PageRecord{}, false
+	}
+	out := *rec
+	out.Links = append([]string(nil), rec.Links...)
+	return out, true
+}
+
+// Pages returns every registered URL, sorted.
+func (q *QueenBee) Pages() []string {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	out := make([]string, 0, len(q.pages))
+	for u := range q.pages {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PageCount returns the number of registered pages.
+func (q *QueenBee) PageCount() int {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return len(q.pages)
+}
+
+// LinkGraph returns url → outgoing links for every registered page, the
+// input to the page-rank computation.
+func (q *QueenBee) LinkGraph() map[string][]string {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	out := make(map[string][]string, len(q.pages))
+	for u, rec := range q.pages {
+		out[u] = append([]string(nil), rec.Links...)
+	}
+	return out
+}
+
+// joinAddrs renders addresses for event attributes.
+func joinAddrs(addrs []chain.Address) string {
+	parts := make([]string, len(addrs))
+	for i, a := range addrs {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,209 @@
+package contracts
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"repro/internal/chain"
+)
+
+// RankEpoch tracks one distributed page-rank computation: the link graph
+// is split into partitions, each verified by its own quorum task; the
+// epoch finalizes when every partition task has finalized.
+type RankEpoch struct {
+	Epoch      uint64
+	Partitions int
+	Finalized  int
+	Done       bool
+}
+
+// RankEntry is one page's rank inside a rank-task result. Results are
+// JSON-encoded slices sorted by URL so digests are deterministic.
+type RankEntry struct {
+	URL  string
+	Rank float64
+}
+
+// EncodeRankResult serializes rank entries for reveal payloads.
+func EncodeRankResult(entries []RankEntry) []byte {
+	b, err := json.Marshal(entries)
+	if err != nil {
+		panic(fmt.Sprintf("contracts: encoding rank result: %v", err))
+	}
+	return b
+}
+
+// DecodeRankResult parses a rank-task result.
+func DecodeRankResult(data []byte) ([]RankEntry, error) {
+	var out []RankEntry
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("contracts: decoding rank result: %w", err)
+	}
+	return out, nil
+}
+
+// CreateRankEpochParams opens the rank tasks for one epoch.
+type CreateRankEpochParams struct {
+	Epoch      uint64
+	Partitions int
+}
+
+// RankTaskID names the task for one partition of one epoch.
+func RankTaskID(epoch uint64, partition int) string {
+	return fmt.Sprintf("rank:%d:%d", epoch, partition)
+}
+
+func (q *QueenBee) execCreateRankEpoch(ctx *chain.TxContext, params []byte) error {
+	var p CreateRankEpochParams
+	if err := chain.DecodeParams(params, &p); err != nil {
+		return err
+	}
+	if p.Partitions <= 0 {
+		return fmt.Errorf("queenbee: rank epoch needs >= 1 partition")
+	}
+	if _, dup := q.rankEpochs[p.Epoch]; dup {
+		return fmt.Errorf("queenbee: rank epoch %d already exists", p.Epoch)
+	}
+	q.rankEpochs[p.Epoch] = &RankEpoch{Epoch: p.Epoch, Partitions: p.Partitions}
+	for part := 0; part < p.Partitions; part++ {
+		q.createTaskLocked(ctx, RankTaskID(p.Epoch, part), TaskRank, map[string]string{
+			"epoch":     strconv.FormatUint(p.Epoch, 10),
+			"partition": strconv.Itoa(part),
+		})
+	}
+	ctx.Emit(EventRankEpochCreated, map[string]string{
+		"epoch":      strconv.FormatUint(p.Epoch, 10),
+		"partitions": strconv.Itoa(p.Partitions),
+	})
+	return nil
+}
+
+// onRankTaskFinalizedLocked merges a finalized partition's rank values and
+// closes the epoch when all partitions are in.
+func (q *QueenBee) onRankTaskFinalizedLocked(ctx *chain.TxContext, t *Task) {
+	epoch, err := strconv.ParseUint(t.Meta["epoch"], 10, 64)
+	if err != nil {
+		return
+	}
+	re, ok := q.rankEpochs[epoch]
+	if !ok || re.Done {
+		return
+	}
+	entries, err := DecodeRankResult(t.WinningResult)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		q.pageRanks[e.URL] = e.Rank
+	}
+	re.Finalized++
+	if re.Finalized >= re.Partitions {
+		re.Done = true
+		if epoch > q.rankEpoch {
+			q.rankEpoch = epoch
+		}
+		ctx.Emit(EventRankEpochFinalized, map[string]string{
+			"epoch": strconv.FormatUint(epoch, 10),
+		})
+	}
+}
+
+// PageRank returns a page's latest finalized rank (0 if unranked).
+func (q *QueenBee) PageRank(url string) float64 {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return q.pageRanks[url]
+}
+
+// PageRanks returns a copy of the latest finalized rank vector.
+func (q *QueenBee) PageRanks() map[string]float64 {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	out := make(map[string]float64, len(q.pageRanks))
+	for k, v := range q.pageRanks {
+		out[k] = v
+	}
+	return out
+}
+
+// LatestRankEpoch returns the newest finalized epoch (0 if none).
+func (q *QueenBee) LatestRankEpoch() uint64 {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return q.rankEpoch
+}
+
+// RankEpochInfo returns a copy of one epoch's progress.
+func (q *QueenBee) RankEpochInfo(epoch uint64) (RankEpoch, bool) {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	re, ok := q.rankEpochs[epoch]
+	if !ok {
+		return RankEpoch{}, false
+	}
+	return *re, true
+}
+
+// PayPopularityParams mints the threshold reward for one finalized epoch.
+type PayPopularityParams struct {
+	Epoch uint64
+}
+
+// execPayPopularity implements the paper's incentive sketch: "give the
+// providers for which the page ranks of their websites exceed a certain
+// threshold some QueenBee's honey." Each page pays at most once per epoch.
+func (q *QueenBee) execPayPopularity(ctx *chain.TxContext, params []byte) error {
+	var p PayPopularityParams
+	if err := chain.DecodeParams(params, &p); err != nil {
+		return err
+	}
+	re, ok := q.rankEpochs[p.Epoch]
+	if !ok || !re.Done {
+		return fmt.Errorf("queenbee: rank epoch %d not finalized", p.Epoch)
+	}
+	paid := 0
+	for _, url := range sortedKeys(q.pageRanks) {
+		rank := q.pageRanks[url]
+		if rank < q.cfg.PopularityThreshold {
+			continue
+		}
+		key := fmt.Sprintf("%d:%s", p.Epoch, url)
+		if q.paidPopularity[key] {
+			continue
+		}
+		rec, ok := q.pages[url]
+		if !ok {
+			continue
+		}
+		if err := ctx.Mint(rec.Owner, q.cfg.PopularityReward); err != nil {
+			return err
+		}
+		q.paidPopularity[key] = true
+		paid++
+		ctx.Emit(EventPopularityPaid, map[string]string{
+			"url":    url,
+			"owner":  rec.Owner.String(),
+			"amount": strconv.FormatUint(q.cfg.PopularityReward, 10),
+			"epoch":  strconv.FormatUint(p.Epoch, 10),
+		})
+	}
+	if paid == 0 {
+		return fmt.Errorf("queenbee: no unpaid pages above threshold in epoch %d", p.Epoch)
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// Insertion sort keeps this dependency-free and the maps are small.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

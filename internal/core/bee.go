@@ -1,0 +1,277 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/chain"
+	"repro/internal/contracts"
+	"repro/internal/index"
+	"repro/internal/netsim"
+	"repro/internal/rank"
+	"repro/internal/store"
+	"repro/internal/xrand"
+)
+
+// WorkerBee is one index/rank worker: a DWeb peer plus a staked chain
+// account. Honest bees compute deterministic results so quorum digests
+// agree; a bee with a CollusionPlan substitutes the plan's corrupted
+// result instead (the E11 attack).
+type WorkerBee struct {
+	cluster *Cluster
+	Name    string
+	Account *chain.Account
+	Peer    *store.Peer
+
+	// Colluding marks this bee as part of the collusion attack.
+	Colluding bool
+	// DetectDuplicates enables the scraper defense: near-duplicate pages
+	// get rank 0 in this bee's rank results.
+	DetectDuplicates bool
+
+	pending map[string]pendingResult // taskID → computed result awaiting reveal
+	written map[string]bool          // taskID → materialized into DHT
+
+	// Cost accumulates the simulated network expense of this bee's work.
+	Cost netsim.Cost
+}
+
+type pendingResult struct {
+	result []byte
+	digest string
+	salt   []byte
+}
+
+// CommitPhase computes results for newly assigned open tasks and submits
+// commitments.
+func (b *WorkerBee) CommitPhase() {
+	for _, task := range b.cluster.QB.OpenTasksFor(b.Account.Address()) {
+		if _, done := b.pending[task.ID]; done {
+			continue
+		}
+		var result []byte
+		var ok bool
+		switch task.Kind {
+		case contracts.TaskIndex:
+			result, ok = b.buildIndexResult(task)
+		case contracts.TaskRank:
+			result, ok = b.buildRankResult(task)
+		}
+		if !ok {
+			continue
+		}
+		digest := index.DigestOf(result)
+		salt := make([]byte, 16)
+		xrand.NewNamed(b.cluster.cfg.Seed, "salt:"+b.Name+":"+task.ID).Bytes(salt)
+		b.pending[task.ID] = pendingResult{result: result, digest: digest, salt: salt}
+		b.cluster.SubmitCall(b.Account, contracts.MethodCommit, contracts.CommitParams{
+			TaskID:     task.ID,
+			Commitment: contracts.Commitment(digest, salt),
+		}, 0)
+	}
+}
+
+// RevealPhase opens this bee's commitments for tasks still open.
+func (b *WorkerBee) RevealPhase() {
+	for _, task := range b.cluster.QB.OpenTasksFor(b.Account.Address()) {
+		pr, ok := b.pending[task.ID]
+		if !ok {
+			continue
+		}
+		if _, committed := task.Commitments[b.Account.Address()]; !committed {
+			continue
+		}
+		if _, revealed := task.Reveals[b.Account.Address()]; revealed {
+			continue
+		}
+		params := contracts.RevealParams{
+			TaskID: task.ID,
+			Digest: pr.digest,
+			Salt:   pr.salt,
+		}
+		if task.Kind == contracts.TaskRank {
+			params.Result = pr.result
+		}
+		b.cluster.SubmitCall(b.Account, contracts.MethodReveal, params, 0)
+	}
+}
+
+// MaterializePhase writes finalized winning results into the DHT. Only
+// the designated writer (first winning assignee) writes, and only when
+// its own digest won — a losing bee cannot materialize the honest result
+// it computed. Returns the number of tasks materialized.
+func (b *WorkerBee) MaterializePhase() int {
+	count := 0
+	for taskID, pr := range b.pending {
+		if b.written[taskID] {
+			continue
+		}
+		task, ok := b.cluster.QB.TaskInfo(taskID)
+		if !ok || task.Status != contracts.StatusFinalized {
+			if ok && task.Status == contracts.StatusFailed {
+				b.written[taskID] = true // never retried
+			}
+			continue
+		}
+		b.written[taskID] = true
+		if task.WinningDigest != pr.digest {
+			continue // this bee lost the vote
+		}
+		if b.designatedWriter(task) != b.Account.Address() {
+			continue
+		}
+		if task.Kind == contracts.TaskIndex {
+			b.materializeIndexResult(task, pr.result)
+			count++
+		}
+		// Rank results live on chain (WinningResult); nothing to write.
+		if task.Kind == contracts.TaskRank {
+			count++
+		}
+	}
+	return count
+}
+
+// designatedWriter picks the first winning assignee in sorted order.
+func (b *WorkerBee) designatedWriter(task contracts.Task) chain.Address {
+	var winners []chain.Address
+	for _, a := range task.Assignees {
+		if r, ok := task.Reveals[a]; ok && r.Digest == task.WinningDigest {
+			winners = append(winners, a)
+		}
+	}
+	sort.Slice(winners, func(i, j int) bool { return winners[i].String() < winners[j].String() })
+	if len(winners) == 0 {
+		return chain.Address{}
+	}
+	return winners[0]
+}
+
+// buildIndexResult fetches the published content from the DWeb and builds
+// the deterministic delta segment for the task's page version.
+func (b *WorkerBee) buildIndexResult(task contracts.Task) ([]byte, bool) {
+	url := task.Meta["url"]
+	cidHex := task.Meta["cid"]
+	cid, err := cidFromHex(cidHex)
+	if err != nil {
+		return nil, false
+	}
+	content, cost, err := b.Peer.Fetch(cid)
+	b.Cost = b.Cost.Seq(cost)
+	if err != nil {
+		return nil, false
+	}
+	gen := task.CreatedAt // same for every assignee → deterministic
+	builder := index.NewBuilder(gen)
+	builder.Add(index.DocIDOf(url), string(content))
+	seg := builder.Build()
+	data := seg.Encode()
+
+	if b.Colluding {
+		data = b.corruptSegment(task, seg)
+	}
+	return data, true
+}
+
+// corruptSegment produces the colluders' agreed-upon wrong result: the
+// page's postings are replaced with spam terms pointing at the attacker's
+// URL. Deterministic across colluders (keyed by task, not bee).
+func (b *WorkerBee) corruptSegment(task contracts.Task, honest *index.Segment) []byte {
+	builder := index.NewBuilder(honest.Gen)
+	builder.Add(index.DocIDOf("dweb://attacker/spam"),
+		strings.Repeat("buy spam honey now ", 8))
+	return builder.Build().Encode()
+}
+
+// materializeIndexResult stores the segment and links it from every
+// affected shard, then bumps global stats.
+func (b *WorkerBee) materializeIndexResult(task contracts.Task, data []byte) {
+	digest := index.DigestOf(data)
+	cost, err := writeSegment(b.Peer.DHT(), digest, data)
+	b.Cost = b.Cost.Seq(cost)
+	if err != nil {
+		return
+	}
+	seg, err := index.DecodeSegment(data)
+	if err != nil {
+		return
+	}
+	shards := make(map[int]bool)
+	for term := range seg.Terms {
+		shards[index.ShardOf(term, b.cluster.cfg.NumShards)] = true
+	}
+	shardList := make([]int, 0, len(shards))
+	for s := range shards {
+		shardList = append(shardList, s)
+	}
+	sort.Ints(shardList)
+	for _, s := range shardList {
+		cost, err := appendSegmentToShard(b.Peer.DHT(), s, digest)
+		b.Cost = b.Cost.Seq(cost)
+		if err != nil {
+			continue
+		}
+		cost, _ = compactShard(b.Peer.DHT(), s)
+		b.Cost = b.Cost.Seq(cost)
+	}
+	var tokens uint64
+	newDocs := 0
+	for _, l := range seg.DocLens {
+		tokens += uint64(l)
+		newDocs++
+	}
+	// Re-published pages are counted once per version; stats drift is
+	// acceptable for BM25 (documented simplification).
+	if seqStr := task.Meta["seq"]; seqStr == "1" {
+		cost, _ = bumpStats(b.Peer.DHT(), newDocs, tokens)
+	} else {
+		cost, _ = bumpStats(b.Peer.DHT(), 0, 0)
+	}
+	b.Cost = b.Cost.Seq(cost)
+}
+
+// buildRankResult computes the page-rank partition for a rank task. The
+// link graph comes from chain state, so every honest bee computes the
+// same result bytes.
+func (b *WorkerBee) buildRankResult(task contracts.Task) ([]byte, bool) {
+	partition, err := strconv.Atoi(task.Meta["partition"])
+	if err != nil {
+		return nil, false
+	}
+	epoch, err := strconv.ParseUint(task.Meta["epoch"], 10, 64)
+	if err != nil {
+		return nil, false
+	}
+	re, ok := b.cluster.QB.RankEpochInfo(epoch)
+	if !ok {
+		return nil, false
+	}
+	g := rank.NewGraph(b.cluster.QB.LinkGraph())
+	res := rank.Compute(g, rank.DefaultOptions())
+	ranks := res.Ranks
+
+	if b.DetectDuplicates {
+		ranks = b.zeroDuplicates(g, ranks)
+	}
+	if b.Colluding {
+		// Colluders inflate the attacker page and zero everyone else.
+		for i := range ranks {
+			ranks[i] = 0
+		}
+		if idx, ok := g.NodeOf("dweb://attacker/spam"); ok {
+			ranks[idx] = 1
+		}
+	}
+
+	parts := rank.Partition(g.Size(), re.Partitions)
+	if partition >= len(parts) {
+		return contracts.EncodeRankResult(nil), true
+	}
+	lo, hi := parts[partition][0], parts[partition][1]
+	entries := make([]contracts.RankEntry, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		entries = append(entries, contracts.RankEntry{URL: g.URL(i), Rank: ranks[i]})
+	}
+	return contracts.EncodeRankResult(entries), true
+}

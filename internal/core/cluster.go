@@ -1,0 +1,332 @@
+// Package core is QueenBee itself — the paper's primary contribution. It
+// wires the substrates together exactly as Figure 1 sketches:
+//
+//   - content creators publish through the smart contract (no crawling);
+//     the page bytes go to the DWeb content store, the URL→CID binding
+//     and the index task go on chain;
+//   - worker bees poll the chain for tasks, fetch content from the DWeb,
+//     build deterministic index segments or page-rank partitions, vote by
+//     commit–reveal, and materialize winning results into the DHT;
+//   - the frontend answers keyword queries by fetching the matched
+//     inverted lists from the DHT, intersecting them, ranking with
+//     BM25×PageRank, and attaching relevant ads from the contract's ad
+//     market.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/contracts"
+	"repro/internal/dht"
+	"repro/internal/netsim"
+	"repro/internal/store"
+	"repro/internal/vclock"
+	"repro/internal/xrand"
+)
+
+// Config assembles a simulated QueenBee deployment.
+type Config struct {
+	Seed uint64
+
+	// NumPeers is the number of plain DWeb devices (beyond bees).
+	NumPeers int
+	// NumBees is the number of worker bees.
+	NumBees int
+	// NumShards is the term-shard count of the distributed index.
+	NumShards int
+	// BlockInterval is the simulated time between sealed blocks.
+	BlockInterval time.Duration
+	// RankWeight blends page rank into query scores.
+	RankWeight float64
+
+	Net      netsim.Config
+	DHT      dht.Config
+	Peer     store.PeerConfig
+	Contract contracts.Config
+}
+
+// DefaultConfig returns a small, fast deployment.
+func DefaultConfig() Config {
+	return Config{
+		Seed:          1,
+		NumPeers:      16,
+		NumBees:       4,
+		NumShards:     8,
+		BlockInterval: 5 * time.Second,
+		RankWeight:    1.0,
+		Net:           netsim.DefaultConfig(),
+		DHT:           dht.DefaultConfig(),
+		Peer:          store.DefaultPeerConfig(),
+		Contract:      contracts.DefaultConfig(),
+	}
+}
+
+// Cluster is one simulated QueenBee deployment: the network, the chain,
+// the contract, the DWeb peers and the worker bees.
+type Cluster struct {
+	cfg Config
+
+	Clock *vclock.Clock
+	Net   *netsim.Network
+	Chain *chain.Chain
+	QB    *contracts.QueenBee
+
+	Peers []*store.Peer
+	Bees  []*WorkerBee
+
+	treasury *chain.Account
+	nonces   map[chain.Address]uint64
+	rng      *xrand.RNG
+
+	nextRankEpoch uint64
+}
+
+// treasurySupply is the genesis allocation the faucet draws from.
+const treasurySupply = 1 << 40
+
+// NewCluster boots a deployment: peers join the DHT, bees register and
+// stake, and the genesis block allocates the faucet treasury.
+func NewCluster(cfg Config) *Cluster {
+	if cfg.NumPeers <= 0 {
+		cfg.NumPeers = 8
+	}
+	if cfg.NumShards <= 0 {
+		cfg.NumShards = 8
+	}
+	if cfg.BlockInterval <= 0 {
+		cfg.BlockInterval = 5 * time.Second
+	}
+	cfg.Net.Seed = cfg.Seed + 1
+
+	c := &Cluster{
+		cfg:      cfg,
+		Clock:    vclock.New(time.Time{}),
+		Net:      netsim.New(cfg.Net),
+		treasury: chain.NewNamedAccount(cfg.Seed, "treasury"),
+		nonces:   make(map[chain.Address]uint64),
+		rng:      xrand.New(cfg.Seed),
+	}
+	c.Chain = chain.New(c.Clock, map[chain.Address]uint64{
+		c.treasury.Address(): treasurySupply,
+	})
+	c.QB = contracts.New(cfg.Contract)
+	c.Chain.RegisterContract(c.QB, true)
+
+	// DWeb peers.
+	for i := 0; i < cfg.NumPeers; i++ {
+		addr := netsim.NodeID(fmt.Sprintf("peer-%03d", i))
+		d := dht.NewNode(c.Net, addr, cfg.DHT)
+		c.Peers = append(c.Peers, store.NewPeer(c.Net, d, cfg.Peer))
+	}
+	c.bootstrapDHT()
+
+	// Worker bees: each is a DWeb peer plus a funded, staked account.
+	for i := 0; i < cfg.NumBees; i++ {
+		c.AddBee(fmt.Sprintf("bee-%03d", i))
+	}
+	c.Seal()
+	return c
+}
+
+// bootstrapDHT joins every peer through the first one.
+func (c *Cluster) bootstrapDHT() {
+	if len(c.Peers) == 0 {
+		return
+	}
+	seed := c.Peers[0].DHT().Self()
+	for _, p := range c.Peers[1:] {
+		p.DHT().Bootstrap([]dht.Contact{seed})
+	}
+	for _, p := range c.Peers {
+		p.DHT().Bootstrap([]dht.Contact{seed})
+	}
+}
+
+// AddBee creates, funds, stakes and registers a new worker bee. The bee
+// is active after the next Seal.
+func (c *Cluster) AddBee(name string) *WorkerBee {
+	addr := netsim.NodeID(name)
+	d := dht.NewNode(c.Net, addr, c.cfg.DHT)
+	peer := store.NewPeer(c.Net, d, c.cfg.Peer)
+	if len(c.Peers) > 0 {
+		d.Bootstrap([]dht.Contact{c.Peers[0].DHT().Self()})
+	}
+	acct := chain.NewNamedAccount(c.cfg.Seed, "bee:"+name)
+	stake := c.cfg.Contract.MinStake
+	if stake == 0 {
+		stake = 100
+	}
+	c.Fund(acct.Address(), stake*10)
+	bee := &WorkerBee{
+		cluster: c,
+		Name:    name,
+		Account: acct,
+		Peer:    peer,
+		pending: make(map[string]pendingResult),
+		written: make(map[string]bool),
+	}
+	c.Bees = append(c.Bees, bee)
+	c.SubmitCall(acct, contracts.MethodRegisterWorker, nil, stake)
+	return bee
+}
+
+// NewAccount creates and funds an externally owned account (publisher,
+// advertiser, clicker). Funds are spendable after the next Seal.
+func (c *Cluster) NewAccount(name string, funds uint64) *chain.Account {
+	acct := chain.NewNamedAccount(c.cfg.Seed, "acct:"+name)
+	c.Fund(acct.Address(), funds)
+	return acct
+}
+
+// Fund transfers honey from the treasury (applied at next Seal).
+func (c *Cluster) Fund(to chain.Address, amount uint64) {
+	tx := chain.NewTransfer(c.treasury, c.nonce(c.treasury.Address()), to, amount)
+	if err := c.Chain.Submit(tx); err != nil {
+		panic(fmt.Sprintf("core: faucet submit: %v", err))
+	}
+}
+
+// SubmitCall signs and submits a QueenBee contract call with automatic
+// nonce management. The call executes at the next Seal.
+func (c *Cluster) SubmitCall(from *chain.Account, method string, params any, value uint64) *chain.Tx {
+	tx := chain.NewCall(from, c.nonce(from.Address()), contracts.ContractName, method, params, value)
+	if err := c.Chain.Submit(tx); err != nil {
+		panic(fmt.Sprintf("core: submit %s: %v", method, err))
+	}
+	return tx
+}
+
+func (c *Cluster) nonce(a chain.Address) uint64 {
+	n := c.nonces[a]
+	c.nonces[a] = n + 1
+	return n
+}
+
+// Seal advances simulated time by one block interval and seals a block.
+func (c *Cluster) Seal() *chain.Block {
+	c.Clock.Advance(c.cfg.BlockInterval)
+	return c.Chain.Seal()
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// RandomPeer returns a pseudo-random DWeb peer.
+func (c *Cluster) RandomPeer() *store.Peer {
+	return c.Peers[c.rng.Intn(len(c.Peers))]
+}
+
+// ProcessRound drives one full protocol round:
+//
+//  1. every bee computes results and commits for its open tasks;
+//  2. a block seals the commits;
+//  3. every bee reveals; the last reveal of each task auto-finalizes it;
+//  4. a block seals the reveals;
+//  5. winning bees materialize finalized results into the DHT.
+//
+// It returns the number of tasks finalized during the round.
+func (c *Cluster) ProcessRound() int {
+	for _, bee := range c.Bees {
+		bee.CommitPhase()
+	}
+	c.Seal()
+	for _, bee := range c.Bees {
+		bee.RevealPhase()
+	}
+	c.Seal()
+	finalized := 0
+	for _, bee := range c.Bees {
+		finalized += bee.MaterializePhase()
+	}
+	// Janitor: anyone may finalize a task whose reveal window closed
+	// (slashing non-revealers); the treasury plays that role here so
+	// stuck tasks always resolve to finalized-or-failed.
+	if stuck := c.QB.OpenTasksPastDeadline(c.Chain.Height()); len(stuck) > 0 {
+		for _, id := range stuck {
+			c.SubmitCall(c.treasury, contracts.MethodFinalize, contracts.FinalizeParams{TaskID: id}, 0)
+		}
+		c.Seal()
+		for _, bee := range c.Bees {
+			finalized += bee.MaterializePhase()
+		}
+	}
+	return finalized
+}
+
+// RunUntilIdle processes rounds until no open tasks remain (bounded by
+// maxRounds). Returns rounds executed.
+func (c *Cluster) RunUntilIdle(maxRounds int) int {
+	for round := 1; round <= maxRounds; round++ {
+		c.ProcessRound()
+		if open, _, _ := c.QB.TaskCounts(); open == 0 {
+			return round
+		}
+	}
+	return maxRounds
+}
+
+// StartRankEpoch creates the rank tasks for the current link graph,
+// partitioned across the given number of rank tasks, and returns the
+// epoch number. Drive with ProcessRound until idle, then ranks are
+// finalized on chain.
+func (c *Cluster) StartRankEpoch(partitions int) uint64 {
+	c.nextRankEpoch++
+	epoch := c.nextRankEpoch
+	c.SubmitCall(c.treasuryAccount(), contracts.MethodCreateRankEpoch,
+		contracts.CreateRankEpochParams{Epoch: epoch, Partitions: partitions}, 0)
+	c.Seal()
+	return epoch
+}
+
+// PayPopularity triggers the threshold reward for a finalized epoch.
+func (c *Cluster) PayPopularity(epoch uint64) *chain.Tx {
+	tx := c.SubmitCall(c.treasuryAccount(), contracts.MethodPayPopularity,
+		contracts.PayPopularityParams{Epoch: epoch}, 0)
+	c.Seal()
+	return tx
+}
+
+func (c *Cluster) treasuryAccount() *chain.Account { return c.treasury }
+
+// FailPeers marks a fraction of the plain DWeb peers (never bees) as
+// crashed and returns the failed addresses. Deterministic per cluster
+// seed.
+func (c *Cluster) FailPeers(fraction float64) []netsim.NodeID {
+	n := int(fraction * float64(len(c.Peers)))
+	var failed []netsim.NodeID
+	for _, idx := range c.rng.Sample(len(c.Peers), n) {
+		addr := c.Peers[idx].Addr()
+		c.Net.SetDown(addr, true)
+		failed = append(failed, addr)
+	}
+	return failed
+}
+
+// HealPeers brings previously failed peers back.
+func (c *Cluster) HealPeers(addrs []netsim.NodeID) {
+	for _, a := range addrs {
+		c.Net.SetDown(a, false)
+	}
+}
+
+// RefreshDHT makes every live node re-replicate its DHT records to the
+// current k closest peers — the periodic republish real Kademlia
+// deployments run, compressed into one call for churn experiments.
+func (c *Cluster) RefreshDHT() netsim.Cost {
+	var total netsim.Cost
+	for _, p := range c.Peers {
+		if c.Net.IsDown(p.Addr()) {
+			continue
+		}
+		total = total.Seq(p.DHT().Refresh())
+	}
+	for _, b := range c.Bees {
+		if c.Net.IsDown(b.Peer.Addr()) {
+			continue
+		}
+		total = total.Seq(b.Peer.DHT().Refresh())
+	}
+	return total
+}

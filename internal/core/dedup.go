@@ -1,0 +1,64 @@
+package core
+
+import (
+	"repro/internal/index"
+	"repro/internal/rank"
+)
+
+// duplicateSimilarity is the MinHash similarity above which a
+// later-published page is treated as a scraper mirror.
+const duplicateSimilarity = 0.85
+
+// zeroDuplicates implements the scraper defense inside rank computation:
+// every page's content signature is compared against earlier-published
+// pages; near-duplicates published later (the mirror) get rank zero, so
+// they earn no popularity honey and rank last in search results. The
+// procedure is deterministic (content + chain state only), so honest bees
+// still agree byte-for-byte.
+func (b *WorkerBee) zeroDuplicates(g *rank.Graph, ranks []float64) []float64 {
+	type pageSig struct {
+		node   int
+		height uint64
+		seq    uint64
+		sig    index.MinHashSig
+	}
+	var sigs []pageSig
+	for i := 0; i < g.Size(); i++ {
+		url := g.URL(i)
+		rec, ok := b.cluster.QB.Page(url)
+		if !ok {
+			continue
+		}
+		cid, err := cidFromHex(rec.CID)
+		if err != nil {
+			continue
+		}
+		content, cost, err := b.Peer.Fetch(cid)
+		b.Cost = b.Cost.Seq(cost)
+		if err != nil {
+			continue
+		}
+		sigs = append(sigs, pageSig{
+			node:   i,
+			height: rec.Height,
+			sig:    index.SignatureOf(string(content)),
+		})
+	}
+	out := append([]float64(nil), ranks...)
+	for i := 0; i < len(sigs); i++ {
+		for j := i + 1; j < len(sigs); j++ {
+			if sigs[i].sig.Similarity(sigs[j].sig) < duplicateSimilarity {
+				continue
+			}
+			// The later-published page is the mirror. Ties (same block)
+			// demote the lexicographically later URL for determinism.
+			a, b := sigs[i], sigs[j]
+			later := b
+			if a.height > b.height || (a.height == b.height && g.URL(a.node) > g.URL(b.node)) {
+				later = a
+			}
+			out[later.node] = 0
+		}
+	}
+	return out
+}

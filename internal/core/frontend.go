@@ -1,0 +1,261 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/dht"
+	"repro/internal/index"
+	"repro/internal/netsim"
+	"repro/internal/store"
+)
+
+// Frontend is QueenBee's query side: "the HTML+Javascript frontend ...
+// responsible for composing the search results by intersecting the
+// matched inverted lists, ranking the results, and displaying relevant
+// ads." It is a stateless client of the DHT and the chain: it owns a DWeb
+// peer for reads and caches immutable segments by content address.
+type Frontend struct {
+	cluster *Cluster
+	peer    *store.Peer
+
+	mu        sync.Mutex
+	segCache  map[string]*index.Segment // digest → segment (immutable)
+	docURL    map[index.DocID]string
+	docURLGen int // page count when docURL was built
+
+	stats    IndexStats
+	statsGen int // page count when stats were fetched
+
+	// UseGallopIntersection selects the intersection kernel (A1).
+	UseGallopIntersection bool
+}
+
+// NewFrontend attaches a frontend to one DWeb peer of the cluster.
+func NewFrontend(c *Cluster, peer *store.Peer) *Frontend {
+	return &Frontend{
+		cluster:               c,
+		peer:                  peer,
+		segCache:              make(map[string]*index.Segment),
+		docURL:                make(map[index.DocID]string),
+		UseGallopIntersection: true,
+	}
+}
+
+// Result is one ranked search hit.
+type Result struct {
+	URL     string
+	CID     string
+	Score   float64
+	Rank    float64 // page rank component
+	Snippet string  // populated when SearchOptions.Snippets is set
+}
+
+// Ad is one displayed advertisement.
+type Ad struct {
+	ID          uint64
+	Keywords    []string
+	BidPerClick uint64
+}
+
+// SearchResponse is the composed answer for one query.
+type SearchResponse struct {
+	Results []Result
+	Ads     []Ad
+	Cost    netsim.Cost
+	Terms   []string
+}
+
+// Search runs the full frontend pipeline for a conjunctive (AND) query.
+// SearchWith (query.go) exposes OR/phrase modes and snippets.
+func (f *Frontend) Search(query string, k int) (SearchResponse, error) {
+	return f.SearchWith(query, SearchOptions{Mode: ModeAND, K: k})
+}
+
+// scoreAndCompose ranks the candidate documents with BM25 × PageRank and
+// fills in results and ads — steps 3–5 of the frontend pipeline, shared
+// by every query mode.
+func (f *Frontend) scoreAndCompose(resp *SearchResponse, terms []string,
+	merged map[string]index.PostingList, segsByShard map[int]*index.Segment,
+	docs []index.DocID, k int) {
+
+	// Collection statistics only shift BM25 constants, so they are
+	// cached and refreshed only when the page count changes.
+	stats, cost := f.cachedStats()
+	resp.Cost = resp.Cost.Seq(cost)
+	scorer := index.NewScorer(index.CorpusStats{
+		DocCount:  maxInt(stats.Docs, 1),
+		AvgDocLen: avgDocLen(stats),
+	}, f.cluster.cfg.RankWeight)
+
+	ranks := f.cluster.QB.PageRanks()
+	maxRank := 0.0
+	for _, r := range ranks {
+		if r > maxRank {
+			maxRank = r
+		}
+	}
+	f.refreshDocURLs()
+
+	docLen := func(d index.DocID) uint32 {
+		for _, seg := range segsByShard {
+			if l, ok := seg.DocLens[d]; ok {
+				return l
+			}
+		}
+		return uint32(avgDocLen(stats))
+	}
+
+	scored := make([]index.ScoredDoc, 0, len(docs))
+	for _, d := range docs {
+		var text float64
+		for _, term := range terms {
+			pl := merged[term]
+			if p, ok := pl.Find(d); ok {
+				text += scorer.TermScore(p.TF, docLen(d), len(pl))
+			}
+		}
+		url := f.docURL[d]
+		final := scorer.Combine(text, ranks[url], maxRank)
+		scored = append(scored, index.ScoredDoc{Doc: d, Score: final})
+	}
+	top := index.TopK(scored, k)
+
+	for _, sd := range top {
+		url := f.docURL[sd.Doc]
+		if url == "" {
+			continue // unindexed or collision; skip
+		}
+		rec, ok := f.cluster.QB.Page(url)
+		if !ok {
+			continue
+		}
+		resp.Results = append(resp.Results, Result{
+			URL:   url,
+			CID:   rec.CID,
+			Score: sd.Score,
+			Rank:  ranks[url],
+		})
+	}
+
+	for _, ad := range f.cluster.QB.AdsForTerms(terms) {
+		resp.Ads = append(resp.Ads, Ad{ID: ad.ID, Keywords: ad.Keywords, BidPerClick: ad.BidPerClick})
+		if len(resp.Ads) == 3 {
+			break
+		}
+	}
+}
+
+// loadShard fetches a shard's segment chain and merges it, using the
+// immutable per-digest cache.
+func (f *Frontend) loadShard(shard int) (*index.Segment, netsim.Cost, error) {
+	ptr, cost, err := readShardPointer(f.peer.DHT(), shard)
+	if err == dht.ErrNotFound {
+		return index.NewSegment(0), cost, nil
+	}
+	if err != nil {
+		return nil, cost, err
+	}
+	segs := make([]*index.Segment, 0, len(ptr.Digests))
+	for _, digest := range ptr.Digests {
+		f.mu.Lock()
+		seg, ok := f.segCache[digest]
+		f.mu.Unlock()
+		if !ok {
+			var c2 netsim.Cost
+			seg, c2, err = readSegment(f.peer.DHT(), digest)
+			cost = cost.Seq(c2)
+			if err != nil {
+				return nil, cost, err
+			}
+			f.mu.Lock()
+			f.segCache[digest] = seg
+			f.mu.Unlock()
+		}
+		segs = append(segs, seg)
+	}
+	return index.Merge(segs), cost, nil
+}
+
+// cachedStats returns the collection statistics, re-reading from the DHT
+// only when the registered page count changed since the last fetch.
+func (f *Frontend) cachedStats() (IndexStats, netsim.Cost) {
+	n := f.cluster.QB.PageCount()
+	f.mu.Lock()
+	if n == f.statsGen && f.stats.Docs > 0 {
+		st := f.stats
+		f.mu.Unlock()
+		return st, netsim.Cost{}
+	}
+	f.mu.Unlock()
+	st, cost := readStats(f.peer.DHT())
+	f.mu.Lock()
+	f.stats, f.statsGen = st, n
+	f.mu.Unlock()
+	return st, cost
+}
+
+// refreshDocURLs rebuilds the DocID→URL map when new pages registered.
+func (f *Frontend) refreshDocURLs() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.cluster.QB.PageCount()
+	if n == f.docURLGen {
+		return
+	}
+	f.docURL = make(map[index.DocID]string, n)
+	for _, url := range f.cluster.QB.Pages() {
+		f.docURL[index.DocIDOf(url)] = url
+	}
+	f.docURLGen = n
+}
+
+// FetchResult downloads and verifies the content of a search result.
+func (f *Frontend) FetchResult(r Result) ([]byte, netsim.Cost, error) {
+	cid, err := cidFromHex(r.CID)
+	if err != nil {
+		return nil, netsim.Cost{}, err
+	}
+	return f.peer.Fetch(cid)
+}
+
+func avgDocLen(st IndexStats) float64 {
+	if st.Docs == 0 {
+		return 1
+	}
+	return float64(st.Tokens) / float64(st.Docs)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TopRankedPages lists the highest page-rank URLs from chain state.
+func (f *Frontend) TopRankedPages(n int) []string {
+	ranks := f.cluster.QB.PageRanks()
+	type pr struct {
+		url  string
+		rank float64
+	}
+	all := make([]pr, 0, len(ranks))
+	for u, r := range ranks {
+		all = append(all, pr{u, r})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].rank != all[j].rank {
+			return all[i].rank > all[j].rank
+		}
+		return all[i].url < all[j].url
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].url
+	}
+	return out
+}

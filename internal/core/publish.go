@@ -1,0 +1,47 @@
+package core
+
+import (
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/chain"
+	"repro/internal/contracts"
+	"repro/internal/netsim"
+	"repro/internal/store"
+)
+
+// PublishReceipt reports one completed publish pipeline step.
+type PublishReceipt struct {
+	URL  string
+	CID  store.CID
+	Tx   *chain.Tx
+	Cost netsim.Cost
+}
+
+// Publish runs the creator pipeline: store the content on the given DWeb
+// peer, then register the URL→CID binding via the smart contract. The
+// publish transaction executes (and the index task is created) at the
+// next Seal; drive ProcessRound to have bees index it.
+func (c *Cluster) Publish(owner *chain.Account, peer *store.Peer, url, text string, links []string) (PublishReceipt, error) {
+	cid, cost, err := peer.Add([]byte(text))
+	if err != nil {
+		return PublishReceipt{}, fmt.Errorf("core: storing %q: %w", url, err)
+	}
+	tx := c.SubmitCall(owner, contracts.MethodPublish, contracts.PublishParams{
+		URL:   url,
+		CID:   cid.String(),
+		Links: links,
+	}, 0)
+	return PublishReceipt{URL: url, CID: cid, Tx: tx, Cost: cost}, nil
+}
+
+// cidFromHex parses a hex CID recorded on chain.
+func cidFromHex(s string) (store.CID, error) {
+	var cid store.CID
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(cid) {
+		return cid, fmt.Errorf("core: bad CID %q", s)
+	}
+	copy(cid[:], b)
+	return cid, nil
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/index"
+	"repro/internal/netsim"
+)
+
+// QueryMode selects the boolean semantics of a search.
+type QueryMode int
+
+// Query modes.
+const (
+	// ModeAND returns documents containing every term (default).
+	ModeAND QueryMode = iota
+	// ModeOR returns documents containing any term.
+	ModeOR
+	// ModePhrase returns documents containing the terms as an exact
+	// adjacent phrase (positional match).
+	ModePhrase
+)
+
+// String implements fmt.Stringer.
+func (m QueryMode) String() string {
+	switch m {
+	case ModeAND:
+		return "AND"
+	case ModeOR:
+		return "OR"
+	case ModePhrase:
+		return "PHRASE"
+	default:
+		return fmt.Sprintf("QueryMode(%d)", int(m))
+	}
+}
+
+// SearchOptions tunes one query.
+type SearchOptions struct {
+	Mode QueryMode
+	K    int
+	// Snippets controls whether each result carries a text snippet
+	// around the first match (requires fetching the document content,
+	// which costs extra simulated time).
+	Snippets bool
+}
+
+// SearchWith runs the frontend pipeline with explicit options. Search is
+// the ModeAND shorthand.
+func (f *Frontend) SearchWith(query string, opts SearchOptions) (SearchResponse, error) {
+	if opts.K <= 0 {
+		opts.K = 10
+	}
+	terms := index.AnalyzeQuery(query)
+	resp := SearchResponse{Terms: terms}
+	if len(terms) == 0 {
+		return resp, fmt.Errorf("core: query %q has no searchable terms", query)
+	}
+
+	merged := make(map[string]index.PostingList, len(terms))
+	segsByShard := make(map[int]*index.Segment)
+	for _, term := range terms {
+		shard := index.ShardOf(term, f.cluster.cfg.NumShards)
+		seg, ok := segsByShard[shard]
+		if !ok {
+			var err error
+			var cost netsim.Cost
+			seg, cost, err = f.loadShard(shard)
+			resp.Cost = resp.Cost.Seq(cost)
+			if err != nil {
+				return resp, err
+			}
+			segsByShard[shard] = seg
+		}
+		merged[term] = seg.Postings(term)
+	}
+
+	var docs []index.DocID
+	switch opts.Mode {
+	case ModeOR:
+		var lists [][]index.DocID
+		for _, term := range terms {
+			if pl := merged[term]; len(pl) > 0 {
+				lists = append(lists, pl.Docs())
+			}
+		}
+		docs = index.Union(lists)
+	case ModePhrase:
+		docs = f.phraseDocs(terms, merged)
+	default:
+		var lists [][]index.DocID
+		for _, term := range terms {
+			pl := merged[term]
+			if len(pl) == 0 {
+				return resp, nil
+			}
+			lists = append(lists, pl.Docs())
+		}
+		if f.UseGallopIntersection {
+			docs = index.IntersectGallop(lists)
+		} else {
+			docs = index.IntersectMerge(lists)
+		}
+	}
+	if len(docs) == 0 {
+		return resp, nil
+	}
+
+	f.scoreAndCompose(&resp, terms, merged, segsByShard, docs, opts.K)
+	if opts.Snippets {
+		f.attachSnippets(&resp, terms)
+	}
+	return resp, nil
+}
+
+// phraseDocs intersects the terms, then filters by positional adjacency.
+func (f *Frontend) phraseDocs(terms []string, merged map[string]index.PostingList) []index.DocID {
+	var lists [][]index.DocID
+	var postingLists []index.PostingList
+	for _, term := range terms {
+		pl := merged[term]
+		if len(pl) == 0 {
+			return nil
+		}
+		lists = append(lists, pl.Docs())
+		postingLists = append(postingLists, pl)
+	}
+	candidates := index.IntersectGallop(lists)
+	var out []index.DocID
+	for _, d := range candidates {
+		if index.PhraseMatch(d, postingLists) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// attachSnippets fetches each result's content and extracts a snippet
+// around the first matched term.
+func (f *Frontend) attachSnippets(resp *SearchResponse, terms []string) {
+	for i := range resp.Results {
+		data, cost, err := f.FetchResult(resp.Results[i])
+		resp.Cost = resp.Cost.Seq(cost)
+		if err != nil {
+			continue
+		}
+		resp.Results[i].Snippet = Snippet(string(data), terms, 12)
+	}
+}
+
+// Snippet extracts a window of words around the first occurrence of any
+// query term (after analysis), marking the match with «…» brackets.
+func Snippet(text string, terms []string, window int) string {
+	want := make(map[string]bool, len(terms))
+	for _, t := range terms {
+		want[t] = true
+	}
+	words := strings.Fields(text)
+	matchIdx := -1
+	for i, w := range words {
+		toks := index.Analyze(w)
+		if len(toks) == 1 && want[toks[0].Term] {
+			matchIdx = i
+			break
+		}
+	}
+	if matchIdx < 0 {
+		if len(words) > window {
+			words = words[:window]
+		}
+		return strings.Join(words, " ")
+	}
+	lo := matchIdx - window/2
+	if lo < 0 {
+		lo = 0
+	}
+	hi := matchIdx + window/2 + 1
+	if hi > len(words) {
+		hi = len(words)
+	}
+	out := make([]string, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		if i == matchIdx {
+			out = append(out, "«"+words[i]+"»")
+		} else {
+			out = append(out, words[i])
+		}
+	}
+	return strings.Join(out, " ")
+}

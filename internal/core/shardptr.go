@@ -1,0 +1,156 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/dht"
+	"repro/internal/index"
+	"repro/internal/netsim"
+)
+
+// ShardPointer is the mutable DHT record listing the segment chain of one
+// index shard. Segments themselves are immutable, content-addressed
+// records; the pointer is versioned (DHT sequence numbers) so later
+// updates win.
+type ShardPointer struct {
+	Digests []string // segment digests, oldest first
+	Version uint64
+}
+
+// IndexStats is the global record frontends use for BM25 collection
+// statistics.
+type IndexStats struct {
+	Docs    int
+	Tokens  uint64
+	Version uint64
+}
+
+const statsKey = "qb:stats"
+
+func encodeJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("core: encoding %T: %v", v, err))
+	}
+	return b
+}
+
+// readShardPointer fetches a shard's pointer record through a DHT node.
+func readShardPointer(d *dht.Node, shard int) (ShardPointer, netsim.Cost, error) {
+	var ptr ShardPointer
+	val, _, cost, err := d.Get(dht.KeyOfString(index.ShardPointerKey(shard)))
+	if err != nil {
+		return ptr, cost, err
+	}
+	if err := json.Unmarshal(val, &ptr); err != nil {
+		return ptr, cost, fmt.Errorf("core: corrupt shard pointer %d: %w", shard, err)
+	}
+	return ptr, cost, nil
+}
+
+// writeShardPointer stores a pointer with its version as DHT sequence.
+func writeShardPointer(d *dht.Node, shard int, ptr ShardPointer) (netsim.Cost, error) {
+	_, cost, err := d.Put(dht.KeyOfString(index.ShardPointerKey(shard)), encodeJSON(ptr), ptr.Version)
+	return cost, err
+}
+
+// appendSegmentToShard reads a shard pointer, appends a digest if absent
+// and writes back the bumped version.
+func appendSegmentToShard(d *dht.Node, shard int, digest string) (netsim.Cost, error) {
+	ptr, cost, err := readShardPointer(d, shard)
+	if err != nil && err != dht.ErrNotFound {
+		// Unreachable shard record: surface the error.
+		return cost, err
+	}
+	for _, existing := range ptr.Digests {
+		if existing == digest {
+			return cost, nil
+		}
+	}
+	ptr.Digests = append(ptr.Digests, digest)
+	ptr.Version++
+	wcost, err := writeShardPointer(d, shard, ptr)
+	return cost.Seq(wcost), err
+}
+
+// writeSegment stores an immutable segment record under its digest key.
+func writeSegment(d *dht.Node, digestHex string, data []byte) (netsim.Cost, error) {
+	_, cost, err := d.Put(dht.KeyOfString(index.SegmentKey(digestHex)), data, 0)
+	return cost, err
+}
+
+// readSegment fetches and hash-verifies a segment by digest. Segments
+// are immutable, so the first replica suffices (the digest check below
+// catches a tampered one).
+func readSegment(d *dht.Node, digestHex string) (*index.Segment, netsim.Cost, error) {
+	val, cost, err := d.GetImmutable(dht.KeyOfString(index.SegmentKey(digestHex)))
+	if err != nil {
+		return nil, cost, err
+	}
+	if got := index.DigestOf(val); got != digestHex {
+		return nil, cost, fmt.Errorf("core: segment %s failed hash verification", digestHex[:8])
+	}
+	seg, err := index.DecodeSegment(val)
+	if err != nil {
+		return nil, cost, err
+	}
+	return seg, cost, nil
+}
+
+// readStats fetches the global index statistics (zero value if absent).
+func readStats(d *dht.Node) (IndexStats, netsim.Cost) {
+	var st IndexStats
+	val, _, cost, err := d.Get(dht.KeyOfString(statsKey))
+	if err != nil {
+		return st, cost
+	}
+	if json.Unmarshal(val, &st) != nil {
+		return IndexStats{}, cost
+	}
+	return st, cost
+}
+
+// bumpStats adds one document's token count to the global statistics.
+func bumpStats(d *dht.Node, addDocs int, addTokens uint64) (netsim.Cost, error) {
+	st, cost := readStats(d)
+	st.Docs += addDocs
+	st.Tokens += addTokens
+	st.Version++
+	_, wcost, err := d.Put(dht.KeyOfString(statsKey), encodeJSON(st), st.Version)
+	return cost.Seq(wcost), err
+}
+
+// mergeShardForStore fetches every segment of a shard and compacts them
+// into one when the chain grows long; returns the read cost. Compaction
+// is the off-chain optimization worker bees run so query-time merging
+// stays cheap (ablation A4 measures the effect).
+const compactionThreshold = 8
+
+func compactShard(d *dht.Node, shard int) (netsim.Cost, error) {
+	ptr, cost, err := readShardPointer(d, shard)
+	if err != nil || len(ptr.Digests) < compactionThreshold {
+		return cost, err
+	}
+	var segs []*index.Segment
+	for _, dg := range ptr.Digests {
+		seg, c2, err := readSegment(d, dg)
+		cost = cost.Seq(c2)
+		if err != nil {
+			return cost, err
+		}
+		segs = append(segs, seg)
+	}
+	merged := index.Merge(segs)
+	data := merged.Encode()
+	digest := index.DigestOf(data)
+	wcost, err := writeSegment(d, digest, data)
+	cost = cost.Seq(wcost)
+	if err != nil {
+		return cost, err
+	}
+	ptr.Digests = []string{digest}
+	ptr.Version++
+	wcost, err = writeShardPointer(d, shard, ptr)
+	return cost.Seq(wcost), err
+}

@@ -1,0 +1,189 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/index"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig())
+	b := Generate(DefaultConfig())
+	if len(a.Docs) != len(b.Docs) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Docs {
+		if a.Docs[i].Text != b.Docs[i].Text {
+			t.Fatalf("doc %d text differs", i)
+		}
+		if strings.Join(a.Docs[i].Links, ",") != strings.Join(b.Docs[i].Links, ",") {
+			t.Fatalf("doc %d links differ", i)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumDocs = 300
+	c := Generate(cfg)
+	if len(c.Docs) != 300 {
+		t.Fatalf("docs = %d", len(c.Docs))
+	}
+	for i, d := range c.Docs {
+		if d.URL != URLOf(i) {
+			t.Fatalf("doc %d URL = %q", i, d.URL)
+		}
+		if d.Title == "" || d.Text == "" {
+			t.Fatalf("doc %d empty fields", i)
+		}
+		words := strings.Fields(d.Text)
+		if len(words) < cfg.MeanDocLen/3 {
+			t.Fatalf("doc %d too short: %d", i, len(words))
+		}
+		for _, l := range d.Links {
+			if l == d.URL {
+				t.Fatalf("doc %d links to itself", i)
+			}
+		}
+	}
+}
+
+func TestVocabularyIsZipfSkewed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumDocs = 400
+	c := Generate(cfg)
+	counts := map[string]int{}
+	for _, d := range c.Docs {
+		for _, w := range strings.Fields(d.Text) {
+			counts[w]++
+		}
+	}
+	top := counts[c.Vocab(0)]
+	mid := counts[c.Vocab(100)]
+	if top <= mid*2 {
+		t.Fatalf("vocabulary not skewed: top=%d mid=%d", top, mid)
+	}
+}
+
+func TestLinkGraphInDegreeSkew(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumDocs = 500
+	c := Generate(cfg)
+	in := map[string]int{}
+	total := 0
+	for _, d := range c.Docs {
+		for _, l := range d.Links {
+			in[l]++
+			total++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no links generated")
+	}
+	// Preferential attachment: max in-degree far above mean.
+	maxIn := 0
+	for _, v := range in {
+		if v > maxIn {
+			maxIn = v
+		}
+	}
+	mean := float64(total) / float64(cfg.NumDocs)
+	if float64(maxIn) < 4*mean {
+		t.Fatalf("in-degree not skewed: max=%d mean=%.1f", maxIn, mean)
+	}
+}
+
+func TestVocabWordsSurviveAnalysis(t *testing.T) {
+	c := Generate(DefaultConfig())
+	// Generated words must not be stop words and must analyze to
+	// themselves or a stable stem (so queries match documents).
+	for i := 0; i < 50; i++ {
+		w := c.Vocab(i)
+		if index.IsStopword(w) {
+			t.Fatalf("vocab word %q is a stopword", w)
+		}
+		toks := index.Analyze(w)
+		if len(toks) != 1 {
+			t.Fatalf("vocab word %q analyzed to %v", w, toks)
+		}
+	}
+}
+
+func TestRevise(t *testing.T) {
+	c := Generate(DefaultConfig())
+	rev1 := c.Revise(5, 1, 0.3)
+	rev1b := c.Revise(5, 1, 0.3)
+	if rev1.Text != rev1b.Text {
+		t.Fatal("revision not deterministic")
+	}
+	if rev1.Text == c.Docs[5].Text {
+		t.Fatal("revision did not change the text")
+	}
+	if rev1.URL != c.Docs[5].URL {
+		t.Fatal("revision changed URL")
+	}
+	rev2 := c.Revise(5, 2, 0.3)
+	if rev2.Text == rev1.Text {
+		t.Fatal("different revisions should differ")
+	}
+	// Zero fraction: no change.
+	same := c.Revise(5, 3, 0)
+	if same.Text != c.Docs[5].Text {
+		t.Fatal("zero-fraction revision should be identical")
+	}
+}
+
+func TestQueriesHaveMatches(t *testing.T) {
+	c := Generate(DefaultConfig())
+	queries := c.Queries(7, 20, 2)
+	if len(queries) != 20 {
+		t.Fatalf("queries = %d", len(queries))
+	}
+	for _, q := range queries {
+		if len(q.Terms) != 2 {
+			t.Fatalf("query terms = %v", q.Terms)
+		}
+		// The query was sampled from some document; at least one doc
+		// must contain both terms.
+		found := false
+		for _, d := range c.Docs {
+			if strings.Contains(d.Text, q.Terms[0]) && strings.Contains(d.Text, q.Terms[1]) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("query %q has no matching doc", q.Text)
+		}
+	}
+}
+
+func TestQueriesDeterministic(t *testing.T) {
+	c := Generate(DefaultConfig())
+	a := c.Queries(1, 5, 3)
+	b := c.Queries(1, 5, 3)
+	for i := range a {
+		if a[i].Text != b[i].Text {
+			t.Fatal("queries not deterministic")
+		}
+	}
+	other := c.Queries(2, 5, 3)
+	diff := false
+	for i := range a {
+		if a[i].Text != other[i].Text {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds should give different queries")
+	}
+}
+
+func TestLinkGraphComplete(t *testing.T) {
+	c := Generate(DefaultConfig())
+	g := c.LinkGraph()
+	if len(g) != len(c.Docs) {
+		t.Fatalf("graph nodes = %d, want %d", len(g), len(c.Docs))
+	}
+}

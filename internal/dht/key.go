@@ -1,0 +1,85 @@
+// Package dht implements a Kademlia distributed hash table over the
+// simulated network. It is the routing substrate the paper assumes when it
+// hosts QueenBee's inverted index and page ranks "in a decentralized
+// storage (e.g., IPFS)": 160-bit XOR keyspace, k-buckets, iterative
+// FIND_NODE / FIND_VALUE lookups, k-replicated STORE, and provider records.
+package dht
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"math/bits"
+)
+
+// KeySize is the keyspace width in bytes (160 bits, as in Kademlia).
+const KeySize = 20
+
+// Key is a point in the 160-bit XOR keyspace. Node IDs and content keys
+// share the space.
+type Key [KeySize]byte
+
+// KeyOf hashes arbitrary bytes into the keyspace (SHA-256 truncated).
+func KeyOf(data []byte) Key {
+	sum := sha256.Sum256(data)
+	var k Key
+	copy(k[:], sum[:KeySize])
+	return k
+}
+
+// KeyOfString hashes a string into the keyspace.
+func KeyOfString(s string) Key { return KeyOf([]byte(s)) }
+
+// String returns the hex form of the key.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Short returns an 8-hex-digit prefix for logs.
+func (k Key) Short() string { return hex.EncodeToString(k[:4]) }
+
+// XOR returns the coordinate-wise XOR distance vector between two keys.
+func (k Key) XOR(o Key) Key {
+	var d Key
+	for i := range k {
+		d[i] = k[i] ^ o[i]
+	}
+	return d
+}
+
+// Cmp compares two keys as big-endian integers: -1, 0 or +1.
+func (k Key) Cmp(o Key) int { return bytes.Compare(k[:], o[:]) }
+
+// Less reports whether k < o as big-endian integers.
+func (k Key) Less(o Key) bool { return k.Cmp(o) < 0 }
+
+// IsZero reports whether the key is all zeros.
+func (k Key) IsZero() bool { return k == Key{} }
+
+// LeadingZeros returns the number of leading zero bits, in [0, 160].
+func (k Key) LeadingZeros() int {
+	n := 0
+	for _, b := range k {
+		if b == 0 {
+			n += 8
+			continue
+		}
+		n += bits.LeadingZeros8(b)
+		break
+	}
+	return n
+}
+
+// BucketIndex returns the k-bucket index for a contact at XOR distance d
+// from the local node: 159 for the farthest half of the space, 0 for the
+// nearest non-zero distance. Returns -1 for distance zero (self).
+func BucketIndex(d Key) int {
+	lz := d.LeadingZeros()
+	if lz >= KeySize*8 {
+		return -1
+	}
+	return KeySize*8 - 1 - lz
+}
+
+// DistanceLess reports whether a is closer to target than b under XOR.
+func DistanceLess(target, a, b Key) bool {
+	return a.XOR(target).Less(b.XOR(target))
+}

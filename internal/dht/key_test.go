@@ -1,0 +1,125 @@
+package dht
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyOfDeterministic(t *testing.T) {
+	a := KeyOf([]byte("hello"))
+	b := KeyOf([]byte("hello"))
+	if a != b {
+		t.Fatal("KeyOf not deterministic")
+	}
+	if a == KeyOf([]byte("world")) {
+		t.Fatal("different inputs should hash differently")
+	}
+}
+
+func TestKeyOfStringMatchesBytes(t *testing.T) {
+	if KeyOfString("abc") != KeyOf([]byte("abc")) {
+		t.Fatal("KeyOfString should equal KeyOf on same bytes")
+	}
+}
+
+func TestXORSelfIsZero(t *testing.T) {
+	k := KeyOf([]byte("x"))
+	if !k.XOR(k).IsZero() {
+		t.Fatal("k XOR k should be zero")
+	}
+}
+
+func TestXORSymmetric(t *testing.T) {
+	f := func(a, b []byte) bool {
+		ka, kb := KeyOf(a), KeyOf(b)
+		return ka.XOR(kb) == kb.XOR(ka)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeadingZeros(t *testing.T) {
+	var k Key
+	if k.LeadingZeros() != 160 {
+		t.Fatalf("zero key LeadingZeros = %d, want 160", k.LeadingZeros())
+	}
+	k[0] = 0x80
+	if k.LeadingZeros() != 0 {
+		t.Fatalf("0x80.. LeadingZeros = %d, want 0", k.LeadingZeros())
+	}
+	k[0] = 0x01
+	if k.LeadingZeros() != 7 {
+		t.Fatalf("0x01.. LeadingZeros = %d, want 7", k.LeadingZeros())
+	}
+	k[0] = 0
+	k[1] = 0x40
+	if k.LeadingZeros() != 9 {
+		t.Fatalf("0x0040.. LeadingZeros = %d, want 9", k.LeadingZeros())
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	var d Key
+	if BucketIndex(d) != -1 {
+		t.Fatal("zero distance should map to -1")
+	}
+	d[0] = 0x80
+	if got := BucketIndex(d); got != 159 {
+		t.Fatalf("BucketIndex(0x80..) = %d, want 159", got)
+	}
+	d[0] = 0
+	d[KeySize-1] = 0x01
+	if got := BucketIndex(d); got != 0 {
+		t.Fatalf("BucketIndex(..0x01) = %d, want 0", got)
+	}
+}
+
+func TestDistanceLess(t *testing.T) {
+	target := KeyOf([]byte("t"))
+	if !DistanceLess(target, target, KeyOf([]byte("far"))) {
+		t.Fatal("target itself should be closest")
+	}
+}
+
+// Property: XOR distance satisfies the triangle-ish Kademlia identity
+// d(a,b) = d(b,a) and d(a,a) = 0, and unidirectionality: for any a != b,
+// exactly one ordering holds.
+func TestXORMetricProperties(t *testing.T) {
+	f := func(a, b []byte) bool {
+		ka, kb := KeyOf(a), KeyOf(b)
+		if ka == kb {
+			return true
+		}
+		ab := ka.XOR(kb)
+		if ab.IsZero() {
+			return false
+		}
+		lessAB := DistanceLess(ka, kb, ka) // d(kb,ka) < d(ka,ka)=0 must be false
+		return !lessAB
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmpAndLess(t *testing.T) {
+	var a, b Key
+	b[KeySize-1] = 1
+	if a.Cmp(b) != -1 || b.Cmp(a) != 1 || a.Cmp(a) != 0 {
+		t.Fatal("Cmp ordering wrong")
+	}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("Less ordering wrong")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	k := KeyOf([]byte("s"))
+	if len(k.String()) != 40 {
+		t.Fatalf("hex string length = %d, want 40", len(k.String()))
+	}
+	if len(k.Short()) != 8 {
+		t.Fatalf("short length = %d, want 8", len(k.Short()))
+	}
+}

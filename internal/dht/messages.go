@@ -1,0 +1,80 @@
+package dht
+
+// RPC message types exchanged between DHT nodes. Each implements
+// netsim.Sizer so the simulator charges realistic wire bytes.
+
+type pingReq struct{ From Contact }
+
+type pingResp struct{ From Contact }
+
+func (pingReq) WireSize() int  { return contactWireSize }
+func (pingResp) WireSize() int { return contactWireSize }
+
+type findNodeReq struct {
+	From   Contact
+	Target Key
+}
+
+type findNodeResp struct {
+	Contacts []Contact
+}
+
+func (findNodeReq) WireSize() int { return contactWireSize + KeySize }
+func (r findNodeResp) WireSize() int {
+	return 8 + contactWireSize*len(r.Contacts)
+}
+
+type storeReq struct {
+	From  Contact
+	Key   Key
+	Value []byte
+	Seq   uint64 // versioned records: higher sequence wins
+}
+
+type storeResp struct{ OK bool }
+
+func (r storeReq) WireSize() int { return contactWireSize + KeySize + 8 + len(r.Value) }
+func (storeResp) WireSize() int  { return 8 }
+
+type findValueReq struct {
+	From Contact
+	Key  Key
+}
+
+type findValueResp struct {
+	Found    bool
+	Value    []byte
+	Seq      uint64
+	Contacts []Contact // closer contacts when not found
+}
+
+func (findValueReq) WireSize() int { return contactWireSize + KeySize }
+func (r findValueResp) WireSize() int {
+	return 16 + len(r.Value) + contactWireSize*len(r.Contacts)
+}
+
+type addProviderReq struct {
+	From     Contact
+	Key      Key
+	Provider Contact
+}
+
+type addProviderResp struct{ OK bool }
+
+func (addProviderReq) WireSize() int  { return 2*contactWireSize + KeySize }
+func (addProviderResp) WireSize() int { return 8 }
+
+type getProvidersReq struct {
+	From Contact
+	Key  Key
+}
+
+type getProvidersResp struct {
+	Providers []Contact
+	Contacts  []Contact
+}
+
+func (getProvidersReq) WireSize() int { return contactWireSize + KeySize }
+func (r getProvidersResp) WireSize() int {
+	return 8 + contactWireSize*(len(r.Providers)+len(r.Contacts))
+}

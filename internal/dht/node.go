@@ -1,0 +1,577 @@
+package dht
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/netsim"
+)
+
+// Errors returned by DHT operations.
+var (
+	ErrNotFound   = errors.New("dht: value not found")
+	ErrNoContacts = errors.New("dht: routing table is empty")
+)
+
+// Config tunes the Kademlia parameters.
+type Config struct {
+	// K is the bucket size and replication factor (paper-standard 20; the
+	// simulations default to 8 to keep swarms light).
+	K int
+	// Alpha is the lookup concurrency.
+	Alpha int
+	// MaxProvidersPerKey bounds the provider set stored per key.
+	MaxProvidersPerKey int
+}
+
+// DefaultConfig returns the simulation defaults.
+func DefaultConfig() Config {
+	return Config{K: 8, Alpha: 3, MaxProvidersPerKey: 16}
+}
+
+type storedValue struct {
+	value []byte
+	seq   uint64
+}
+
+// Node is one DHT participant. It registers itself as the handler for its
+// network address. Safe for concurrent use.
+type Node struct {
+	cfg  Config
+	self Contact
+	net  *netsim.Network
+	rt   *routingTable
+
+	mu        sync.Mutex
+	values    map[Key]storedValue
+	providers map[Key]map[netsim.NodeID]Contact
+}
+
+// NewNode creates a DHT node bound to addr on the network. Its keyspace ID
+// is the hash of the address.
+func NewNode(net *netsim.Network, addr netsim.NodeID, cfg Config) *Node {
+	if cfg.K <= 0 {
+		cfg.K = 8
+	}
+	if cfg.Alpha <= 0 {
+		cfg.Alpha = 3
+	}
+	if cfg.MaxProvidersPerKey <= 0 {
+		cfg.MaxProvidersPerKey = 16
+	}
+	n := &Node{
+		cfg:       cfg,
+		self:      Contact{ID: KeyOfString(string(addr)), Addr: addr},
+		net:       net,
+		rt:        nil,
+		values:    make(map[Key]storedValue),
+		providers: make(map[Key]map[netsim.NodeID]Contact),
+	}
+	n.rt = newRoutingTable(n.self.ID, cfg.K)
+	net.Register(addr, n.handle)
+	return n
+}
+
+// Self returns this node's contact record.
+func (n *Node) Self() Contact { return n.self }
+
+// TableSize returns the number of contacts in the routing table.
+func (n *Node) TableSize() int { return n.rt.size() }
+
+// HandleRPC dispatches an inbound DHT RPC. It is exported so higher layers
+// (block exchange, QueenBee) can register a combined handler on the same
+// network address and delegate DHT traffic here.
+func (n *Node) HandleRPC(from netsim.NodeID, req any) (any, error) {
+	return n.handle(from, req)
+}
+
+// handle dispatches an inbound RPC.
+func (n *Node) handle(from netsim.NodeID, req any) (any, error) {
+	switch m := req.(type) {
+	case pingReq:
+		n.rt.update(m.From)
+		return pingResp{From: n.self}, nil
+	case findNodeReq:
+		n.rt.update(m.From)
+		return findNodeResp{Contacts: n.rt.closest(m.Target, n.cfg.K)}, nil
+	case storeReq:
+		n.rt.update(m.From)
+		n.mu.Lock()
+		cur, ok := n.values[m.Key]
+		if !ok || m.Seq >= cur.seq {
+			n.values[m.Key] = storedValue{value: m.Value, seq: m.Seq}
+		}
+		n.mu.Unlock()
+		return storeResp{OK: true}, nil
+	case findValueReq:
+		n.rt.update(m.From)
+		n.mu.Lock()
+		sv, ok := n.values[m.Key]
+		n.mu.Unlock()
+		// Replica holders also return closer contacts: versioned reads
+		// continue to the k closest and take the highest sequence.
+		closer := n.rt.closest(m.Key, n.cfg.K)
+		if ok {
+			return findValueResp{Found: true, Value: sv.value, Seq: sv.seq, Contacts: closer}, nil
+		}
+		return findValueResp{Contacts: closer}, nil
+	case addProviderReq:
+		n.rt.update(m.From)
+		n.mu.Lock()
+		set := n.providers[m.Key]
+		if set == nil {
+			set = make(map[netsim.NodeID]Contact)
+			n.providers[m.Key] = set
+		}
+		if len(set) < n.cfg.MaxProvidersPerKey {
+			set[m.Provider.Addr] = m.Provider
+		}
+		n.mu.Unlock()
+		return addProviderResp{OK: true}, nil
+	case getProvidersReq:
+		n.rt.update(m.From)
+		n.mu.Lock()
+		var provs []Contact
+		for _, c := range n.providers[m.Key] {
+			provs = append(provs, c)
+		}
+		n.mu.Unlock()
+		sort.Slice(provs, func(i, j int) bool { return provs[i].Addr < provs[j].Addr })
+		return getProvidersResp{
+			Providers: provs,
+			Contacts:  n.rt.closest(m.Key, n.cfg.K),
+		}, nil
+	default:
+		return nil, fmt.Errorf("dht: unknown message %T", req)
+	}
+}
+
+// Bootstrap seeds the routing table with known contacts and performs a
+// self-lookup to populate nearby buckets. Returns the lookup cost.
+func (n *Node) Bootstrap(seeds []Contact) netsim.Cost {
+	for _, c := range seeds {
+		if c.Addr != n.self.Addr {
+			n.rt.update(c)
+		}
+	}
+	_, cost := n.lookupNodes(n.self.ID)
+	return cost
+}
+
+// call performs one RPC and maintains the routing table on success or
+// failure.
+func (n *Node) call(to Contact, req any) (any, netsim.Cost, error) {
+	resp, cost, err := n.net.Call(n.self.Addr, to.Addr, req)
+	if err != nil {
+		n.rt.markFailed(to.ID)
+		return nil, cost, err
+	}
+	n.rt.update(to)
+	return resp, cost, nil
+}
+
+// Ping checks liveness of a contact.
+func (n *Node) Ping(to Contact) (netsim.Cost, error) {
+	_, cost, err := n.call(to, pingReq{From: n.self})
+	return cost, err
+}
+
+// lookupNodes performs an iterative FIND_NODE toward target and returns
+// the k closest live contacts found. Queries within a round are accounted
+// as parallel; rounds are sequential.
+func (n *Node) lookupNodes(target Key) ([]Contact, netsim.Cost) {
+	return n.iterativeLookup(target, func(c Contact) ([]Contact, bool, netsim.Cost) {
+		resp, cost, err := n.call(c, findNodeReq{From: n.self, Target: target})
+		if err != nil {
+			return nil, false, cost
+		}
+		return resp.(findNodeResp).Contacts, true, cost
+	})
+}
+
+// lookupState tracks per-contact progress during an iterative lookup.
+type lookupState struct {
+	queried bool
+	failed  bool
+}
+
+// iterativeLookup is the shared Kademlia lookup loop. query returns the
+// closer contacts a peer reported and whether the peer responded.
+func (n *Node) iterativeLookup(target Key, query func(Contact) ([]Contact, bool, netsim.Cost)) ([]Contact, netsim.Cost) {
+	shortlist := n.rt.closest(target, n.cfg.K)
+	states := make(map[Key]*lookupState, len(shortlist))
+	for _, c := range shortlist {
+		states[c.ID] = &lookupState{}
+	}
+	var total netsim.Cost
+
+	insert := func(c Contact) {
+		if c.ID == n.self.ID {
+			return
+		}
+		if _, ok := states[c.ID]; ok {
+			return
+		}
+		states[c.ID] = &lookupState{}
+		shortlist = append(shortlist, c)
+	}
+
+	sortShortlist := func() {
+		sort.Slice(shortlist, func(i, j int) bool {
+			return DistanceLess(target, shortlist[i].ID, shortlist[j].ID)
+		})
+	}
+
+	for {
+		sortShortlist()
+		// Pick up to alpha closest unqueried live candidates.
+		var round []Contact
+		for _, c := range shortlist {
+			st := states[c.ID]
+			if st.queried || st.failed {
+				continue
+			}
+			round = append(round, c)
+			if len(round) == n.cfg.Alpha {
+				break
+			}
+		}
+		if len(round) == 0 {
+			break
+		}
+		var roundCost netsim.Cost
+		progressed := false
+		prevBest := bestDistance(target, shortlist, states)
+		for _, c := range round {
+			st := states[c.ID]
+			st.queried = true
+			closer, ok, cost := query(c)
+			roundCost = roundCost.Par(cost)
+			if !ok {
+				st.failed = true
+				continue
+			}
+			for _, cc := range closer {
+				insert(cc)
+			}
+		}
+		total = total.Seq(roundCost)
+		sortShortlist()
+		if nowBest := bestDistance(target, shortlist, states); nowBest.Less(prevBest) {
+			progressed = true
+		}
+		// Termination: when a round yields no closer node, query any
+		// remaining unqueried nodes among the k closest, then stop.
+		if !progressed {
+			var tail []Contact
+			count := 0
+			for _, c := range shortlist {
+				if count >= n.cfg.K {
+					break
+				}
+				st := states[c.ID]
+				if st.failed {
+					continue
+				}
+				count++
+				if !st.queried {
+					tail = append(tail, c)
+				}
+			}
+			if len(tail) == 0 {
+				break
+			}
+			var tailCost netsim.Cost
+			for _, c := range tail {
+				st := states[c.ID]
+				st.queried = true
+				closer, ok, cost := query(c)
+				tailCost = tailCost.Par(cost)
+				if !ok {
+					st.failed = true
+					continue
+				}
+				for _, cc := range closer {
+					insert(cc)
+				}
+			}
+			total = total.Seq(tailCost)
+		}
+	}
+
+	sortShortlist()
+	var result []Contact
+	for _, c := range shortlist {
+		st := states[c.ID]
+		if st.failed || !st.queried {
+			continue
+		}
+		result = append(result, c)
+		if len(result) == n.cfg.K {
+			break
+		}
+	}
+	return result, total
+}
+
+// bestDistance returns the XOR distance of the closest non-failed contact
+// in a distance-sorted shortlist.
+func bestDistance(target Key, list []Contact, states map[Key]*lookupState) Key {
+	for _, c := range list {
+		if st := states[c.ID]; st != nil && st.failed {
+			continue
+		}
+		return c.ID.XOR(target)
+	}
+	var max Key
+	for i := range max {
+		max[i] = 0xFF
+	}
+	return max
+}
+
+// Put stores a versioned value on the k closest nodes to key. The writer
+// also keeps a local replica (when it already holds an older version, or
+// when the swarm is empty) so its own later reads can never regress.
+// It returns the number of replicas written and the total cost.
+func (n *Node) Put(key Key, value []byte, seq uint64) (int, netsim.Cost, error) {
+	n.mu.Lock()
+	if cur, ok := n.values[key]; ok && seq >= cur.seq {
+		n.values[key] = storedValue{value: value, seq: seq}
+	}
+	n.mu.Unlock()
+
+	closest, cost := n.lookupNodes(key)
+	if len(closest) == 0 {
+		// A lone node stores locally so single-node setups still work.
+		n.mu.Lock()
+		cur, ok := n.values[key]
+		if !ok || seq >= cur.seq {
+			n.values[key] = storedValue{value: value, seq: seq}
+		}
+		n.mu.Unlock()
+		return 1, cost, nil
+	}
+	stored := 0
+	var storeCost netsim.Cost
+	for _, c := range closest {
+		_, cc, err := n.call(c, storeReq{From: n.self, Key: key, Value: value, Seq: seq})
+		storeCost = storeCost.Par(cc)
+		if err == nil {
+			stored++
+		}
+	}
+	cost = cost.Seq(storeCost)
+	if stored == 0 {
+		return 0, cost, fmt.Errorf("dht: no replicas stored for %s", key.Short())
+	}
+	return stored, cost, nil
+}
+
+// Get retrieves the highest-sequence value for key via iterative
+// FIND_VALUE. Because records are versioned (mutable pointers like index
+// shard lists), the lookup does NOT stop at the first replica: it queries
+// through to the k closest nodes and returns the highest sequence seen —
+// a quorum-style read that tolerates stale replicas. The local replica
+// (if any) participates as one more vote.
+func (n *Node) Get(key Key) ([]byte, uint64, netsim.Cost, error) {
+	var (
+		bestVal  []byte
+		bestSeq  uint64
+		anyValue bool
+	)
+	n.mu.Lock()
+	if sv, ok := n.values[key]; ok {
+		bestVal, bestSeq, anyValue = sv.value, sv.seq, true
+	}
+	n.mu.Unlock()
+
+	_, cost := n.iterativeLookup(key, func(c Contact) ([]Contact, bool, netsim.Cost) {
+		resp, cc, err := n.call(c, findValueReq{From: n.self, Key: key})
+		if err != nil {
+			return nil, false, cc
+		}
+		r := resp.(findValueResp)
+		if r.Found {
+			if !anyValue || r.Seq > bestSeq {
+				bestVal, bestSeq = r.Value, r.Seq
+				anyValue = true
+			}
+			// A replica holder still reports closer contacts so the
+			// lookup can keep converging on the k closest.
+			return r.Contacts, true, cc
+		}
+		return r.Contacts, true, cc
+	})
+	if !anyValue {
+		return nil, 0, cost, ErrNotFound
+	}
+	return bestVal, bestSeq, cost, nil
+}
+
+// GetImmutable retrieves a value that can never change (content-addressed
+// records): the lookup short-circuits on the first replica found, which
+// is safe because the caller verifies the content hash. Use Get for
+// versioned (mutable) records.
+func (n *Node) GetImmutable(key Key) ([]byte, netsim.Cost, error) {
+	n.mu.Lock()
+	if sv, ok := n.values[key]; ok {
+		n.mu.Unlock()
+		return sv.value, netsim.Cost{}, nil
+	}
+	n.mu.Unlock()
+
+	var (
+		val   []byte
+		found bool
+	)
+	_, cost := n.iterativeLookup(key, func(c Contact) ([]Contact, bool, netsim.Cost) {
+		if found {
+			return nil, true, netsim.Cost{}
+		}
+		resp, cc, err := n.call(c, findValueReq{From: n.self, Key: key})
+		if err != nil {
+			return nil, false, cc
+		}
+		r := resp.(findValueResp)
+		if r.Found {
+			val, found = r.Value, true
+			return nil, true, cc
+		}
+		return r.Contacts, true, cc
+	})
+	if !found {
+		return nil, cost, ErrNotFound
+	}
+	return val, cost, nil
+}
+
+// Provide announces this node as a provider for key on the k closest
+// nodes.
+func (n *Node) Provide(key Key) (int, netsim.Cost, error) {
+	closest, cost := n.lookupNodes(key)
+	if len(closest) == 0 {
+		n.mu.Lock()
+		set := n.providers[key]
+		if set == nil {
+			set = make(map[netsim.NodeID]Contact)
+			n.providers[key] = set
+		}
+		set[n.self.Addr] = n.self
+		n.mu.Unlock()
+		return 1, cost, nil
+	}
+	announced := 0
+	var annCost netsim.Cost
+	for _, c := range closest {
+		_, cc, err := n.call(c, addProviderReq{From: n.self, Key: key, Provider: n.self})
+		annCost = annCost.Par(cc)
+		if err == nil {
+			announced++
+		}
+	}
+	cost = cost.Seq(annCost)
+	if announced == 0 {
+		return 0, cost, fmt.Errorf("dht: provider announce failed for %s", key.Short())
+	}
+	return announced, cost, nil
+}
+
+// FindProviders returns providers for key discovered via iterative lookup.
+func (n *Node) FindProviders(key Key, limit int) ([]Contact, netsim.Cost, error) {
+	// Local provider records answer immediately.
+	n.mu.Lock()
+	var local []Contact
+	for _, c := range n.providers[key] {
+		local = append(local, c)
+	}
+	n.mu.Unlock()
+	if len(local) >= limit && limit > 0 {
+		sort.Slice(local, func(i, j int) bool { return local[i].Addr < local[j].Addr })
+		return local[:limit], netsim.Cost{}, nil
+	}
+
+	seen := make(map[netsim.NodeID]Contact)
+	for _, c := range local {
+		seen[c.Addr] = c
+	}
+	enough := func() bool { return limit > 0 && len(seen) >= limit }
+
+	_, cost := n.iterativeLookup(key, func(c Contact) ([]Contact, bool, netsim.Cost) {
+		if enough() {
+			return nil, true, netsim.Cost{}
+		}
+		resp, cc, err := n.call(c, getProvidersReq{From: n.self, Key: key})
+		if err != nil {
+			return nil, false, cc
+		}
+		r := resp.(getProvidersResp)
+		for _, p := range r.Providers {
+			seen[p.Addr] = p
+		}
+		return r.Contacts, true, cc
+	})
+
+	if len(seen) == 0 {
+		return nil, cost, ErrNotFound
+	}
+	out := make([]Contact, 0, len(seen))
+	for _, c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, cost, nil
+}
+
+// RefreshBuckets performs lookups toward deterministic pseudo-random
+// targets, populating distant k-buckets — the periodic bucket refresh of
+// standard Kademlia. Large swarms need it so that writer and reader
+// lookups converge on the same closest nodes; without it, sparse routing
+// tables can make a reader terminate before discovering a replica
+// holder.
+func (n *Node) RefreshBuckets(rounds int) netsim.Cost {
+	var total netsim.Cost
+	for i := 0; i < rounds; i++ {
+		target := KeyOfString(fmt.Sprintf("bucket-refresh:%s:%d", n.self.Addr, i))
+		_, cost := n.lookupNodes(target)
+		total = total.Seq(cost)
+	}
+	return total
+}
+
+// Refresh re-replicates every locally stored value and provider record to
+// the current k closest nodes. Experiments call this after churn.
+func (n *Node) Refresh() netsim.Cost {
+	n.mu.Lock()
+	vals := make(map[Key]storedValue, len(n.values))
+	for k, v := range n.values {
+		vals[k] = v
+	}
+	n.mu.Unlock()
+	var total netsim.Cost
+	for k, v := range vals {
+		_, cost, _ := n.Put(k, v.value, v.seq)
+		total = total.Seq(cost)
+	}
+	return total
+}
+
+// LocalValues returns the number of values held locally.
+func (n *Node) LocalValues() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.values)
+}
+
+// StoreLocal injects a value directly into this node's local store,
+// bypassing the network. Used to model malicious replicas in E6/E11.
+func (n *Node) StoreLocal(key Key, value []byte, seq uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.values[key] = storedValue{value: value, seq: seq}
+}

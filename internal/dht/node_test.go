@@ -1,0 +1,294 @@
+package dht
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+// buildSwarm creates n bootstrapped DHT nodes on a fresh network.
+func buildSwarm(t testing.TB, n int, cfg Config) (*netsim.Network, []*Node) {
+	t.Helper()
+	net := netsim.New(netsim.DefaultConfig())
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = NewNode(net, netsim.NodeID(fmt.Sprintf("peer-%03d", i)), cfg)
+	}
+	seed := nodes[0].Self()
+	for i := 1; i < n; i++ {
+		nodes[i].Bootstrap([]Contact{seed})
+	}
+	// Second pass so early joiners learn about late joiners.
+	for _, nd := range nodes {
+		nd.Bootstrap([]Contact{seed})
+	}
+	return net, nodes
+}
+
+func TestPutGetAcrossSwarm(t *testing.T) {
+	_, nodes := buildSwarm(t, 20, DefaultConfig())
+	key := KeyOfString("the-answer")
+	val := []byte("42")
+	replicas, _, err := nodes[3].Put(key, val, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replicas < 2 {
+		t.Fatalf("replicas = %d, want >= 2", replicas)
+	}
+	got, seq, _, err := nodes[17].Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "42" || seq != 1 {
+		t.Fatalf("Get = %q seq=%d, want 42 seq=1", got, seq)
+	}
+}
+
+func TestGetMissingKey(t *testing.T) {
+	_, nodes := buildSwarm(t, 10, DefaultConfig())
+	_, _, _, err := nodes[2].Get(KeyOfString("never-stored"))
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestVersionedPutHigherSeqWins(t *testing.T) {
+	_, nodes := buildSwarm(t, 16, DefaultConfig())
+	key := KeyOfString("pointer")
+	if _, _, err := nodes[1].Put(key, []byte("v1"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := nodes[2].Put(key, []byte("v2"), 2); err != nil {
+		t.Fatal(err)
+	}
+	got, seq, _, err := nodes[9].Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2" || seq != 2 {
+		t.Fatalf("Get = %q seq=%d, want v2 seq=2", got, seq)
+	}
+}
+
+func TestStaleSeqDoesNotOverwrite(t *testing.T) {
+	_, nodes := buildSwarm(t, 16, DefaultConfig())
+	key := KeyOfString("pointer2")
+	nodes[1].Put(key, []byte("new"), 5)
+	nodes[2].Put(key, []byte("old"), 3) // stale write
+	got, seq, _, err := nodes[9].Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new" || seq != 5 {
+		t.Fatalf("Get = %q seq=%d, want new seq=5", got, seq)
+	}
+}
+
+func TestLookupCostGrowsSublinearly(t *testing.T) {
+	cfg := DefaultConfig()
+	_, small := buildSwarm(t, 8, cfg)
+	_, large := buildSwarm(t, 128, cfg)
+
+	key := KeyOfString("scaling")
+	small[1].Put(key, []byte("x"), 1)
+	large[1].Put(key, []byte("x"), 1)
+
+	_, _, cSmall, err := small[7].Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, cLarge, err := large[100].Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O(log n) routing: 16x more nodes should cost far less than 16x
+	// messages. Allow factor 6.
+	if cLarge.Msgs > 6*max(cSmall.Msgs, 3) {
+		t.Fatalf("lookup msgs grew too fast: %d nodes→%d msgs vs %d nodes→%d msgs",
+			8, cSmall.Msgs, 128, cLarge.Msgs)
+	}
+}
+
+func TestGetSurvivesNodeFailures(t *testing.T) {
+	net, nodes := buildSwarm(t, 32, DefaultConfig())
+	key := KeyOfString("resilient")
+	replicas, _, err := nodes[1].Put(key, []byte("alive"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replicas < 3 {
+		t.Skipf("need >=3 replicas to test failure tolerance, got %d", replicas)
+	}
+	// Kill a third of the swarm, but never the reader.
+	for i := 0; i < len(nodes); i += 3 {
+		if i != 20 {
+			net.SetDown(nodes[i].Self().Addr, true)
+		}
+	}
+	got, _, _, err := nodes[20].Get(key)
+	if err != nil {
+		t.Fatalf("Get after failures: %v", err)
+	}
+	if string(got) != "alive" {
+		t.Fatalf("Get = %q, want alive", got)
+	}
+}
+
+func TestProvideAndFindProviders(t *testing.T) {
+	_, nodes := buildSwarm(t, 24, DefaultConfig())
+	key := KeyOfString("content-block")
+	for _, i := range []int{2, 5, 11} {
+		if _, _, err := nodes[i].Provide(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	provs, _, err := nodes[20].FindProviders(key, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[netsim.NodeID]bool{"peer-002": true, "peer-005": true, "peer-011": true}
+	found := 0
+	for _, p := range provs {
+		if want[p.Addr] {
+			found++
+		}
+	}
+	if found < 2 {
+		t.Fatalf("found %d/3 providers: %v", found, provs)
+	}
+}
+
+func TestFindProvidersLimit(t *testing.T) {
+	_, nodes := buildSwarm(t, 24, DefaultConfig())
+	key := KeyOfString("popular")
+	for i := 0; i < 10; i++ {
+		nodes[i].Provide(key)
+	}
+	provs, _, err := nodes[20].FindProviders(key, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(provs) > 3 {
+		t.Fatalf("limit violated: %d providers", len(provs))
+	}
+}
+
+func TestFindProvidersMissing(t *testing.T) {
+	_, nodes := buildSwarm(t, 12, DefaultConfig())
+	_, _, err := nodes[3].FindProviders(KeyOfString("no-providers"), 5)
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestSingleNodePutGet(t *testing.T) {
+	net := netsim.New(netsim.DefaultConfig())
+	n := NewNode(net, "solo", DefaultConfig())
+	key := KeyOfString("k")
+	if _, _, err := n.Put(key, []byte("v"), 1); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := n.Get(key)
+	if err != nil || string(got) != "v" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+}
+
+func TestRefreshRestoresReplication(t *testing.T) {
+	net, nodes := buildSwarm(t, 24, DefaultConfig())
+	key := KeyOfString("refresh-me")
+	nodes[0].Put(key, []byte("data"), 1)
+
+	// Take down every node currently storing the value except one holder.
+	var holders []*Node
+	for _, nd := range nodes {
+		if nd.LocalValues() > 0 {
+			holders = append(holders, nd)
+		}
+	}
+	if len(holders) < 2 {
+		t.Skip("not enough replicas to exercise refresh")
+	}
+	for _, h := range holders[1:] {
+		net.SetDown(h.Self().Addr, true)
+	}
+	// The surviving holder refreshes, pushing the value to new closest
+	// nodes.
+	holders[0].Refresh()
+	// Count live replicas now.
+	live := 0
+	for _, nd := range nodes {
+		if !net.IsDown(nd.Self().Addr) && nd.LocalValues() > 0 {
+			live++
+		}
+	}
+	if live < 2 {
+		t.Fatalf("live replicas after refresh = %d, want >= 2", live)
+	}
+}
+
+func TestBootstrapPopulatesTable(t *testing.T) {
+	_, nodes := buildSwarm(t, 30, DefaultConfig())
+	for i, nd := range nodes {
+		if nd.TableSize() < 3 {
+			t.Fatalf("node %d table size = %d, want >= 3", i, nd.TableSize())
+		}
+	}
+}
+
+func TestStoreLocalVisibleToGet(t *testing.T) {
+	_, nodes := buildSwarm(t, 8, DefaultConfig())
+	key := KeyOfString("direct")
+	nodes[4].StoreLocal(key, []byte("tampered"), 9)
+	got, seq, _, err := nodes[4].Get(key)
+	if err != nil || string(got) != "tampered" || seq != 9 {
+		t.Fatalf("local Get = %q seq=%d err=%v", got, seq, err)
+	}
+}
+
+func TestPingUpdatesTables(t *testing.T) {
+	net := netsim.New(netsim.DefaultConfig())
+	a := NewNode(net, "a", DefaultConfig())
+	b := NewNode(net, "b", DefaultConfig())
+	if _, err := a.Ping(b.Self()); err != nil {
+		t.Fatal(err)
+	}
+	if a.TableSize() != 1 || b.TableSize() != 1 {
+		t.Fatalf("table sizes = %d,%d, want 1,1", a.TableSize(), b.TableSize())
+	}
+}
+
+func TestLargeSwarmGetWithBucketRefresh(t *testing.T) {
+	// At 256 nodes, sparse routing tables can point writer and reader
+	// lookups at different "closest" sets; bucket refresh closes the gap.
+	net := netsim.New(netsim.DefaultConfig())
+	const n = 256
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = NewNode(net, netsim.NodeID(fmt.Sprintf("big-%03d", i)), DefaultConfig())
+	}
+	for _, nd := range nodes[1:] {
+		nd.Bootstrap([]Contact{nodes[0].Self()})
+	}
+	for _, nd := range nodes {
+		nd.Bootstrap([]Contact{nodes[0].Self()})
+		nd.RefreshBuckets(2)
+	}
+	key := KeyOfString("large-swarm-key")
+	if _, _, err := nodes[1].Put(key, []byte("payload"), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Every 8th node reads; all must find the value.
+	for i := 2; i < n; i += 8 {
+		got, _, _, err := nodes[i].Get(key)
+		if err != nil {
+			t.Fatalf("reader %d: %v", i, err)
+		}
+		if string(got) != "payload" {
+			t.Fatalf("reader %d got %q", i, got)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package dht
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netsim"
+	"repro/internal/xrand"
+)
+
+// Property: for any set of keys and values, every value put into a
+// bootstrapped swarm is retrievable from every live node, and the
+// highest sequence always wins.
+func TestPutGetRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, nKeysRaw uint8) bool {
+		nKeys := int(nKeysRaw%8) + 1
+		rng := xrand.New(seed)
+
+		net := netsim.New(netsim.DefaultConfig())
+		nodes := make([]*Node, 12)
+		for i := range nodes {
+			nodes[i] = NewNode(net, netsim.NodeID(fmt.Sprintf("p%02d", i)), DefaultConfig())
+		}
+		for _, nd := range nodes[1:] {
+			nd.Bootstrap([]Contact{nodes[0].Self()})
+		}
+		for _, nd := range nodes {
+			nd.Bootstrap([]Contact{nodes[0].Self()})
+		}
+
+		type record struct {
+			key Key
+			val []byte
+			seq uint64
+		}
+		var records []record
+		for k := 0; k < nKeys; k++ {
+			key := KeyOfString(fmt.Sprintf("key-%d-%d", seed, k))
+			// Write 1-3 versions from random writers.
+			versions := 1 + rng.Intn(3)
+			var last []byte
+			var lastSeq uint64
+			for v := 1; v <= versions; v++ {
+				val := []byte(fmt.Sprintf("val-%d-%d-%d", seed, k, v))
+				writer := nodes[rng.Intn(len(nodes))]
+				if _, _, err := writer.Put(key, val, uint64(v)); err != nil {
+					return false
+				}
+				last, lastSeq = val, uint64(v)
+			}
+			records = append(records, record{key: key, val: last, seq: lastSeq})
+		}
+		for _, rec := range records {
+			reader := nodes[rng.Intn(len(nodes))]
+			got, seq, _, err := reader.Get(rec.key)
+			if err != nil || string(got) != string(rec.val) || seq != rec.seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: GetImmutable always agrees with Get for write-once records.
+func TestImmutableGetAgreesProperty(t *testing.T) {
+	net := netsim.New(netsim.DefaultConfig())
+	nodes := make([]*Node, 16)
+	for i := range nodes {
+		nodes[i] = NewNode(net, netsim.NodeID(fmt.Sprintf("q%02d", i)), DefaultConfig())
+	}
+	for _, nd := range nodes[1:] {
+		nd.Bootstrap([]Contact{nodes[0].Self()})
+	}
+	for _, nd := range nodes {
+		nd.Bootstrap([]Contact{nodes[0].Self()})
+	}
+	rng := xrand.New(7)
+	for i := 0; i < 20; i++ {
+		key := KeyOfString(fmt.Sprintf("imm-%d", i))
+		val := []byte(fmt.Sprintf("content-%d", i))
+		if _, _, err := nodes[rng.Intn(len(nodes))].Put(key, val, 0); err != nil {
+			t.Fatal(err)
+		}
+		reader := nodes[rng.Intn(len(nodes))]
+		a, _, _, errA := reader.Get(key)
+		b, _, errB := reader.GetImmutable(key)
+		if errA != nil || errB != nil {
+			t.Fatalf("key %d: errs %v %v", i, errA, errB)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("key %d: Get %q != GetImmutable %q", i, a, b)
+		}
+	}
+}
+
+// Property: lookup message count stays logarithmic-ish in swarm size.
+func TestLookupCostLogarithmic(t *testing.T) {
+	cost := func(n int) int {
+		net := netsim.New(netsim.DefaultConfig())
+		nodes := make([]*Node, n)
+		for i := range nodes {
+			nodes[i] = NewNode(net, netsim.NodeID(fmt.Sprintf("n%04d", i)), DefaultConfig())
+		}
+		for _, nd := range nodes[1:] {
+			nd.Bootstrap([]Contact{nodes[0].Self()})
+		}
+		for _, nd := range nodes {
+			nd.Bootstrap([]Contact{nodes[0].Self()})
+		}
+		key := KeyOfString("probe")
+		nodes[1].Put(key, []byte("x"), 1)
+		total := 0
+		for i := 0; i < 10; i++ {
+			_, _, c, err := nodes[2+i].Get(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += c.Msgs
+		}
+		return total
+	}
+	small, large := cost(16), cost(256)
+	// 16x nodes: allow at most ~4x messages (true growth is ~log n).
+	if large > 4*small {
+		t.Fatalf("lookup cost grew superlogarithmically: %d → %d msgs", small, large)
+	}
+}

@@ -1,0 +1,143 @@
+package dht
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/netsim"
+)
+
+// Contact identifies a remote DHT node: its keyspace ID and network
+// address.
+type Contact struct {
+	ID   Key
+	Addr netsim.NodeID
+}
+
+// contactWireSize approximates one contact on the wire (20B ID + address).
+const contactWireSize = 40
+
+// routingTable is a Kademlia k-bucket table. It never performs network
+// I/O: eviction prefers contacts previously marked failed, otherwise the
+// newcomer is dropped (the "old contacts are good contacts" heuristic),
+// which keeps updates lock-cheap and deterministic.
+type routingTable struct {
+	mu      sync.Mutex
+	self    Key
+	bucketK int
+	buckets [KeySize * 8]bucket
+}
+
+type bucket struct {
+	entries []tableEntry // most recently seen last
+}
+
+type tableEntry struct {
+	c      Contact
+	failed bool
+}
+
+func newRoutingTable(self Key, bucketK int) *routingTable {
+	if bucketK <= 0 {
+		bucketK = 20
+	}
+	return &routingTable{self: self, bucketK: bucketK}
+}
+
+// update records that a contact was seen alive. It inserts the contact,
+// refreshes its recency, or — if its bucket is full — replaces a failed
+// entry, else drops it.
+func (rt *routingTable) update(c Contact) {
+	if c.ID == rt.self {
+		return
+	}
+	idx := BucketIndex(rt.self.XOR(c.ID))
+	if idx < 0 {
+		return
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	b := &rt.buckets[idx]
+	for i := range b.entries {
+		if b.entries[i].c.ID == c.ID {
+			// Move to tail (most recently seen) and clear failure flag.
+			e := b.entries[i]
+			e.failed = false
+			e.c.Addr = c.Addr
+			b.entries = append(append(b.entries[:i:i], b.entries[i+1:]...), e)
+			return
+		}
+	}
+	if len(b.entries) < rt.bucketK {
+		b.entries = append(b.entries, tableEntry{c: c})
+		return
+	}
+	for i := range b.entries {
+		if b.entries[i].failed {
+			b.entries = append(append(b.entries[:i:i], b.entries[i+1:]...), tableEntry{c: c})
+			return
+		}
+	}
+	// Bucket full of live contacts: drop the newcomer.
+}
+
+// markFailed flags a contact that did not respond; it becomes first in
+// line for eviction.
+func (rt *routingTable) markFailed(id Key) {
+	idx := BucketIndex(rt.self.XOR(id))
+	if idx < 0 {
+		return
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	b := &rt.buckets[idx]
+	for i := range b.entries {
+		if b.entries[i].c.ID == id {
+			b.entries[i].failed = true
+			return
+		}
+	}
+}
+
+// closest returns up to n live-believed contacts closest to target.
+func (rt *routingTable) closest(target Key, n int) []Contact {
+	rt.mu.Lock()
+	all := make([]Contact, 0, 64)
+	for i := range rt.buckets {
+		for _, e := range rt.buckets[i].entries {
+			all = append(all, e.c)
+		}
+	}
+	rt.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool {
+		return DistanceLess(target, all[i].ID, all[j].ID)
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// size returns the number of contacts in the table.
+func (rt *routingTable) size() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	n := 0
+	for i := range rt.buckets {
+		n += len(rt.buckets[i].entries)
+	}
+	return n
+}
+
+// contacts returns every contact in the table (arbitrary order).
+func (rt *routingTable) contacts() []Contact {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var out []Contact
+	for i := range rt.buckets {
+		for _, e := range rt.buckets[i].entries {
+			out = append(out, e.c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+// Package index implements the text side of QueenBee: analysis
+// (tokenizing, stop-words, stemming), positional postings with varint
+// delta compression, immutable segments built per publish event, doc-aware
+// segment merging, the sorted-list intersection kernels the frontend uses
+// ("composing the search results by intersecting the matched inverted
+// lists"), and BM25 scoring blended with page rank.
+//
+// The package is deliberately network-free: internal/core shards segments
+// over the DHT and wires worker bees to build them.
+package index
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is one analyzed term occurrence.
+type Token struct {
+	Term string
+	Pos  uint32 // token position in the document, 0-based
+}
+
+// stopwords is a compact English stop list. Queries and documents share
+// it so a stop-term never reaches the index or the intersection.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "but": true, "by": true, "for": true, "from": true,
+	"had": true, "has": true, "have": true, "he": true, "her": true,
+	"his": true, "if": true, "in": true, "into": true, "is": true,
+	"it": true, "its": true, "nor": true, "not": true, "of": true,
+	"on": true, "or": true, "she": true, "so": true, "that": true,
+	"the": true, "their": true, "them": true, "then": true, "there": true,
+	"these": true, "they": true, "this": true, "those": true, "to": true,
+	"was": true, "were": true, "will": true, "with": true, "you": true,
+}
+
+// IsStopword reports whether a lowercase term is on the stop list.
+func IsStopword(term string) bool { return stopwords[term] }
+
+// Analyze splits text into stemmed, stop-filtered tokens with positions.
+// Positions count every non-stopword token, so phrase offsets survive
+// analysis.
+func Analyze(text string) []Token {
+	var tokens []Token
+	var b strings.Builder
+	pos := uint32(0)
+	flush := func() {
+		if b.Len() == 0 {
+			return
+		}
+		term := b.String()
+		b.Reset()
+		if stopwords[term] {
+			return
+		}
+		term = Stem(term)
+		if term == "" {
+			return
+		}
+		tokens = append(tokens, Token{Term: term, Pos: pos})
+		pos++
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// AnalyzeQuery returns the distinct analyzed terms of a query string, in
+// first-appearance order.
+func AnalyzeQuery(query string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, tok := range Analyze(query) {
+		if !seen[tok.Term] {
+			seen[tok.Term] = true
+			out = append(out, tok.Term)
+		}
+	}
+	return out
+}
+
+// Stem applies a light Porter-style suffix stripper until it reaches a
+// fixed point, so stemmed terms always re-stem to themselves — documents
+// and queries can never disagree ("relations" → "relation" → "relat",
+// and a query for "relation" lands on the same "relat").
+func Stem(term string) string {
+	for i := 0; i < 4; i++ {
+		next := stemOnce(term)
+		if next == term {
+			return term
+		}
+		term = next
+	}
+	return term
+}
+
+// stemOnce strips one suffix layer.
+func stemOnce(term string) string {
+	if len(term) <= 3 {
+		return term
+	}
+	// Order matters: longest candidate suffixes first.
+	switch {
+	case strings.HasSuffix(term, "ational"):
+		return term[:len(term)-7] + "ate"
+	case strings.HasSuffix(term, "iveness"):
+		return term[:len(term)-4]
+	case strings.HasSuffix(term, "fulness"):
+		return term[:len(term)-4]
+	case strings.HasSuffix(term, "ization"):
+		return term[:len(term)-5] + "e"
+	case strings.HasSuffix(term, "sses"):
+		return term[:len(term)-2]
+	case strings.HasSuffix(term, "ies"):
+		return term[:len(term)-3] + "i"
+	case strings.HasSuffix(term, "ment"):
+		if len(term) > 6 {
+			return term[:len(term)-4]
+		}
+	case strings.HasSuffix(term, "ness"):
+		return term[:len(term)-4]
+	case strings.HasSuffix(term, "tion"):
+		return term[:len(term)-4] + "t"
+	case strings.HasSuffix(term, "ing"):
+		if len(term) > 5 {
+			stem := term[:len(term)-3]
+			return undouble(stem)
+		}
+	case strings.HasSuffix(term, "edly"):
+		return term[:len(term)-4]
+	case strings.HasSuffix(term, "ed"):
+		if len(term) > 4 {
+			stem := term[:len(term)-2]
+			return undouble(stem)
+		}
+	case strings.HasSuffix(term, "ly"):
+		if len(term) > 4 {
+			return term[:len(term)-2]
+		}
+	case strings.HasSuffix(term, "es"):
+		if len(term) > 4 {
+			return term[:len(term)-2]
+		}
+	case strings.HasSuffix(term, "s") && !strings.HasSuffix(term, "ss"):
+		return term[:len(term)-1]
+	case strings.HasSuffix(term, "e"):
+		// Final-e removal (Porter step 5) collapses singular/plural pairs
+		// like engine/engines → engin.
+		if len(term) > 4 {
+			return term[:len(term)-1]
+		}
+	}
+	return term
+}
+
+// undouble collapses a doubled final consonant left by suffix removal
+// (e.g. "stopp" → "stop"), except the letters where English keeps the
+// double ("ll", "ss", "zz").
+func undouble(s string) string {
+	n := len(s)
+	if n < 2 || s[n-1] != s[n-2] {
+		return s
+	}
+	switch s[n-1] {
+	case 'l', 's', 'z':
+		return s
+	}
+	return s[:n-1]
+}

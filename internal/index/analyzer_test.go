@@ -1,0 +1,131 @@
+package index
+
+import (
+	"testing"
+)
+
+func TestAnalyzeBasic(t *testing.T) {
+	toks := Analyze("The quick brown Fox jumps!")
+	terms := make([]string, len(toks))
+	for i, tok := range toks {
+		terms[i] = tok.Term
+	}
+	// "the" removed; lowercased; "jumps" stemmed to "jump".
+	want := []string{"quick", "brown", "fox", "jump"}
+	if len(terms) != len(want) {
+		t.Fatalf("terms = %v, want %v", terms, want)
+	}
+	for i := range want {
+		if terms[i] != want[i] {
+			t.Fatalf("terms = %v, want %v", terms, want)
+		}
+	}
+}
+
+func TestAnalyzePositionsSequential(t *testing.T) {
+	toks := Analyze("alpha the beta gamma")
+	if len(toks) != 3 {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i, tok := range toks {
+		if tok.Pos != uint32(i) {
+			t.Fatalf("positions not sequential: %v", toks)
+		}
+	}
+}
+
+func TestAnalyzePunctuationAndDigits(t *testing.T) {
+	toks := Analyze("web3.0: peer-2-peer networks")
+	var terms []string
+	for _, tok := range toks {
+		terms = append(terms, tok.Term)
+	}
+	joined := ""
+	for _, term := range terms {
+		joined += term + " "
+	}
+	for _, want := range []string{"web3", "0", "peer", "2"} {
+		found := false
+		for _, term := range terms {
+			if term == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing %q in %v", want, terms)
+		}
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	if toks := Analyze(""); len(toks) != 0 {
+		t.Fatalf("tokens = %v, want none", toks)
+	}
+	if toks := Analyze("the of and"); len(toks) != 0 {
+		t.Fatalf("stopword-only text: %v, want none", toks)
+	}
+}
+
+func TestAnalyzeQueryDedup(t *testing.T) {
+	terms := AnalyzeQuery("search engines search the web")
+	if len(terms) != 3 {
+		t.Fatalf("terms = %v, want 3 distinct", terms)
+	}
+	if terms[0] != "search" || terms[1] != Stem("engines") || terms[2] != "web" {
+		t.Fatalf("terms = %v", terms)
+	}
+}
+
+func TestStemming(t *testing.T) {
+	cases := map[string]string{
+		"jumps":      "jump",
+		"running":    "run",
+		"stopped":    "stop",
+		"cities":     "citi",
+		"engines":    "engin",
+		"quickly":    "quick",
+		"government": "govern",
+		"relation":   "relat",
+		"cat":        "cat", // too short to stem
+		"falls":      "fall",
+		"classes":    "class",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemIdempotentOnVariants(t *testing.T) {
+	// Variants of one word should collapse to the same stem.
+	groups := [][]string{
+		{"index", "indexes"},
+		{"rank", "ranks", "ranking", "ranked"},
+		{"search", "searches", "searching", "searched"},
+	}
+	for _, g := range groups {
+		base := Stem(g[0])
+		for _, v := range g[1:] {
+			if got := Stem(v); got != base {
+				t.Errorf("Stem(%q) = %q, want %q (same as %q)", v, got, base, g[0])
+			}
+		}
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	if !IsStopword("the") || IsStopword("queen") {
+		t.Fatal("stopword detection wrong")
+	}
+}
+
+func TestAnalyzeUnicode(t *testing.T) {
+	toks := Analyze("Café Zürich")
+	if len(toks) != 2 {
+		t.Fatalf("tokens = %v", toks)
+	}
+	if toks[0].Term != "café" {
+		t.Fatalf("unicode lowercasing failed: %v", toks[0])
+	}
+}

@@ -1,0 +1,96 @@
+package index
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Near-duplicate detection via w-shingling + MinHash, the defense against
+// the paper's scraper-site attack: a site that mirrors popular content to
+// farm honey produces a signature almost identical to the original's, so
+// worker bees can demote it deterministically.
+
+// DefaultShingleSize is the token-window width for shingling.
+const DefaultShingleSize = 4
+
+// DefaultSignatureSize is the number of MinHash components.
+const DefaultSignatureSize = 64
+
+// Shingles returns the set of hashed token k-grams of analyzed text.
+func Shingles(text string, k int) map[uint64]bool {
+	if k <= 0 {
+		k = DefaultShingleSize
+	}
+	toks := Analyze(text)
+	out := make(map[uint64]bool)
+	if len(toks) < k {
+		if len(toks) == 0 {
+			return out
+		}
+		k = len(toks)
+	}
+	for i := 0; i+k <= len(toks); i++ {
+		h := fnv.New64a()
+		for j := i; j < i+k; j++ {
+			h.Write([]byte(toks[j].Term))
+			h.Write([]byte{0x1f})
+		}
+		out[h.Sum64()] = true
+	}
+	return out
+}
+
+// MinHashSig is a fixed-length similarity signature.
+type MinHashSig []uint64
+
+// MinHash computes an n-component signature over a shingle set using
+// n deterministic hash mixes of each shingle.
+func MinHash(shingles map[uint64]bool, n int) MinHashSig {
+	if n <= 0 {
+		n = DefaultSignatureSize
+	}
+	sig := make(MinHashSig, n)
+	for i := range sig {
+		sig[i] = math.MaxUint64
+	}
+	if len(shingles) == 0 {
+		return sig
+	}
+	for s := range shingles {
+		for i := 0; i < n; i++ {
+			h := mix64(s ^ (uint64(i)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03))
+			if h < sig[i] {
+				sig[i] = h
+			}
+		}
+	}
+	return sig
+}
+
+// mix64 is a strong 64-bit finalizer (SplitMix64 variant).
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Similarity estimates the Jaccard similarity of the underlying shingle
+// sets from two signatures.
+func (a MinHashSig) Similarity(b MinHashSig) float64 {
+	if len(a) == 0 || len(a) != len(b) {
+		return 0
+	}
+	match := 0
+	for i := range a {
+		if a[i] == b[i] {
+			match++
+		}
+	}
+	return float64(match) / float64(len(a))
+}
+
+// SignatureOf is the convenience path: shingle then MinHash with
+// defaults.
+func SignatureOf(text string) MinHashSig {
+	return MinHash(Shingles(text, DefaultShingleSize), DefaultSignatureSize)
+}

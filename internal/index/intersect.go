@@ -1,0 +1,163 @@
+package index
+
+import "sort"
+
+// The intersection kernels below implement the frontend's core operation:
+// "composing the search results by intersecting the matched inverted
+// lists." IntersectMerge is the textbook linear merge; IntersectGallop
+// uses exponential search from the shortest list, which wins when list
+// lengths are skewed (ablation A1 / experiment E9 compares them).
+
+// IntersectMerge intersects k sorted doc lists by linear k-way stepping.
+func IntersectMerge(lists [][]DocID) []DocID {
+	if len(lists) == 0 {
+		return nil
+	}
+	if len(lists) == 1 {
+		return append([]DocID(nil), lists[0]...)
+	}
+	out := append([]DocID(nil), lists[0]...)
+	for _, l := range lists[1:] {
+		out = intersect2Merge(out, l)
+		if len(out) == 0 {
+			return nil
+		}
+	}
+	return out
+}
+
+func intersect2Merge(a, b []DocID) []DocID {
+	out := a[:0:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// IntersectGallop intersects by probing the longer lists with exponential
+// (galloping) search, driving from the shortest list.
+func IntersectGallop(lists [][]DocID) []DocID {
+	if len(lists) == 0 {
+		return nil
+	}
+	ordered := append([][]DocID(nil), lists...)
+	sort.Slice(ordered, func(i, j int) bool { return len(ordered[i]) < len(ordered[j]) })
+	out := append([]DocID(nil), ordered[0]...)
+	for _, l := range ordered[1:] {
+		out = intersect2Gallop(out, l)
+		if len(out) == 0 {
+			return nil
+		}
+	}
+	return out
+}
+
+func intersect2Gallop(small, large []DocID) []DocID {
+	out := small[:0:0]
+	lo := 0
+	for _, v := range small {
+		idx := gallopSearch(large, lo, v)
+		if idx < len(large) && large[idx] == v {
+			out = append(out, v)
+		}
+		lo = idx
+		if lo >= len(large) {
+			break
+		}
+	}
+	return out
+}
+
+// gallopSearch finds the first index >= from with large[idx] >= target
+// using doubling steps followed by binary search.
+func gallopSearch(large []DocID, from int, target DocID) int {
+	if from >= len(large) {
+		return from
+	}
+	bound := 1
+	for from+bound < len(large) && large[from+bound] < target {
+		bound *= 2
+	}
+	lo := from + bound/2
+	hi := from + bound
+	if hi > len(large) {
+		hi = len(large)
+	}
+	return lo + sort.Search(hi-lo, func(i int) bool { return large[lo+i] >= target })
+}
+
+// Union merges sorted doc lists, deduplicating.
+func Union(lists [][]DocID) []DocID {
+	var out []DocID
+	for _, l := range lists {
+		out = union2(out, l)
+	}
+	return out
+}
+
+func union2(a, b []DocID) []DocID {
+	out := make([]DocID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// PhraseMatch reports whether the postings of consecutive query terms
+// contain the terms at adjacent positions in the given document.
+func PhraseMatch(doc DocID, lists []PostingList) bool {
+	if len(lists) == 0 {
+		return false
+	}
+	var positions [][]uint32
+	for _, pl := range lists {
+		p, ok := pl.Find(doc)
+		if !ok {
+			return false
+		}
+		positions = append(positions, p.Positions)
+	}
+	// For each start position of term 0, check term i at pos+i.
+	for _, start := range positions[0] {
+		match := true
+		for i := 1; i < len(positions); i++ {
+			if !containsU32(positions[i], start+uint32(i)) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+func containsU32(sorted []uint32, v uint32) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= v })
+	return i < len(sorted) && sorted[i] == v
+}

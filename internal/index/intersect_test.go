@@ -1,0 +1,250 @@
+package index
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func docs(vals ...uint32) []DocID {
+	out := make([]DocID, len(vals))
+	for i, v := range vals {
+		out[i] = DocID(v)
+	}
+	return out
+}
+
+func equalDocs(a, b []DocID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIntersectMergeBasic(t *testing.T) {
+	got := IntersectMerge([][]DocID{
+		docs(1, 3, 5, 7, 9),
+		docs(3, 4, 5, 9, 11),
+		docs(3, 5, 9),
+	})
+	if !equalDocs(got, docs(3, 5, 9)) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestIntersectGallopBasic(t *testing.T) {
+	got := IntersectGallop([][]DocID{
+		docs(1, 3, 5, 7, 9),
+		docs(3, 4, 5, 9, 11),
+		docs(3, 5, 9),
+	})
+	if !equalDocs(got, docs(3, 5, 9)) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestIntersectEmptyCases(t *testing.T) {
+	if got := IntersectMerge(nil); got != nil {
+		t.Fatalf("nil lists: %v", got)
+	}
+	if got := IntersectMerge([][]DocID{docs(1, 2), nil}); len(got) != 0 {
+		t.Fatalf("one empty list: %v", got)
+	}
+	if got := IntersectGallop([][]DocID{docs(1, 2), nil}); len(got) != 0 {
+		t.Fatalf("gallop one empty: %v", got)
+	}
+	single := IntersectMerge([][]DocID{docs(4, 5)})
+	if !equalDocs(single, docs(4, 5)) {
+		t.Fatalf("single list: %v", single)
+	}
+}
+
+func TestIntersectDisjoint(t *testing.T) {
+	lists := [][]DocID{docs(1, 2, 3), docs(4, 5, 6)}
+	if got := IntersectMerge(lists); len(got) != 0 {
+		t.Fatalf("disjoint merge: %v", got)
+	}
+	if got := IntersectGallop(lists); len(got) != 0 {
+		t.Fatalf("disjoint gallop: %v", got)
+	}
+}
+
+// Property: gallop and merge always agree.
+func TestIntersectVariantsAgreeProperty(t *testing.T) {
+	f := func(seed uint64, sizesRaw [3]uint8) bool {
+		rng := xrand.New(seed)
+		var lists [][]DocID
+		for _, szRaw := range sizesRaw {
+			sz := int(szRaw % 50)
+			set := map[uint32]bool{}
+			for i := 0; i < sz; i++ {
+				set[uint32(rng.Intn(100))] = true
+			}
+			var l []DocID
+			for v := uint32(0); v < 100; v++ {
+				if set[v] {
+					l = append(l, DocID(v))
+				}
+			}
+			lists = append(lists, l)
+		}
+		return equalDocs(IntersectMerge(lists), IntersectGallop(lists))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	got := Union([][]DocID{docs(1, 3, 5), docs(2, 3, 6), docs(5)})
+	if !equalDocs(got, docs(1, 2, 3, 5, 6)) {
+		t.Fatalf("union = %v", got)
+	}
+	if got := Union(nil); got != nil {
+		t.Fatalf("union of nothing = %v", got)
+	}
+}
+
+func TestGallopSkewedLists(t *testing.T) {
+	// Small list vs huge list: gallop must find exactly the right docs.
+	var huge []DocID
+	for i := uint32(0); i < 10000; i += 2 {
+		huge = append(huge, DocID(i))
+	}
+	small := docs(0, 1001, 5000, 9998, 9999)
+	got := IntersectGallop([][]DocID{small, huge})
+	if !equalDocs(got, docs(0, 5000, 9998)) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPhraseMatch(t *testing.T) {
+	b := NewBuilder(1)
+	b.Add(1, "decentralized search engine for decentralized web")
+	b.Add(2, "search decentralized engine")
+	seg := b.Build()
+
+	lists := []PostingList{
+		seg.Postings(Stem("decentralized")),
+		seg.Postings(Stem("search")),
+	}
+	if !PhraseMatch(1, lists) {
+		t.Fatal("doc 1 contains the phrase 'decentralized search'")
+	}
+	if PhraseMatch(2, lists) {
+		t.Fatal("doc 2 has the terms but not adjacent in order")
+	}
+	if PhraseMatch(99, lists) {
+		t.Fatal("missing doc cannot match")
+	}
+	if PhraseMatch(1, nil) {
+		t.Fatal("empty phrase cannot match")
+	}
+}
+
+func TestScorerBM25Ordering(t *testing.T) {
+	s := NewScorer(CorpusStats{DocCount: 1000, AvgDocLen: 100}, 0)
+	// Rarer terms score higher.
+	rare := s.TermScore(1, 100, 2)
+	common := s.TermScore(1, 100, 900)
+	if rare <= common {
+		t.Fatalf("rare %v should outscore common %v", rare, common)
+	}
+	// Higher TF scores higher, sublinearly.
+	tf1 := s.TermScore(1, 100, 10)
+	tf2 := s.TermScore(2, 100, 10)
+	tf8 := s.TermScore(8, 100, 10)
+	if tf2 <= tf1 || tf8 <= tf2 {
+		t.Fatal("TF should increase score")
+	}
+	if tf8-tf2 >= 6*(tf2-tf1) {
+		t.Fatal("TF gain should saturate")
+	}
+	// Longer docs are penalized.
+	short := s.TermScore(2, 50, 10)
+	long := s.TermScore(2, 500, 10)
+	if long >= short {
+		t.Fatal("longer docs should score lower at equal TF")
+	}
+}
+
+func TestScorerCombine(t *testing.T) {
+	s := NewScorer(CorpusStats{DocCount: 10, AvgDocLen: 10}, 1.0)
+	base := 2.0
+	low := s.Combine(base, 0.001, 0.1)
+	high := s.Combine(base, 0.1, 0.1)
+	if high <= low {
+		t.Fatal("higher page rank should lift score")
+	}
+	if got := s.Combine(base, 0.5, 0); got != base {
+		t.Fatal("maxRank 0 should disable blending")
+	}
+	noBlend := NewScorer(CorpusStats{DocCount: 10, AvgDocLen: 10}, 0)
+	if got := noBlend.Combine(base, 0.5, 1); got != base {
+		t.Fatal("RankWeight 0 should disable blending")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	in := []ScoredDoc{
+		{Doc: 1, Score: 0.5}, {Doc: 2, Score: 2.0},
+		{Doc: 3, Score: 1.0}, {Doc: 4, Score: 2.0},
+	}
+	got := TopK(in, 3)
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	// Score 2.0 tie: doc 2 before doc 4.
+	if got[0].Doc != 2 || got[1].Doc != 4 || got[2].Doc != 3 {
+		t.Fatalf("order = %+v", got)
+	}
+	if TopK(in, 0) != nil {
+		t.Fatal("k=0 should be nil")
+	}
+	if len(TopK(in, 100)) != 4 {
+		t.Fatal("k>n should return all")
+	}
+}
+
+func TestShardOfStable(t *testing.T) {
+	a := ShardOf("honey", 16)
+	b := ShardOf("honey", 16)
+	if a != b {
+		t.Fatal("shard mapping unstable")
+	}
+	if a < 0 || a >= 16 {
+		t.Fatalf("shard out of range: %d", a)
+	}
+	// Different terms should spread (not all one shard).
+	seen := map[int]bool{}
+	for _, term := range []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"} {
+		seen[ShardOf(term, 4)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("sharding does not spread terms")
+	}
+}
+
+func TestDocIDOfStable(t *testing.T) {
+	if DocIDOf("dweb://a") != DocIDOf("dweb://a") {
+		t.Fatal("DocIDOf unstable")
+	}
+	if DocIDOf("dweb://a") == DocIDOf("dweb://b") {
+		t.Fatal("distinct URLs should (overwhelmingly) differ")
+	}
+}
+
+func TestShardKeysDistinct(t *testing.T) {
+	if ShardPointerKey(0) == ShardPointerKey(1) {
+		t.Fatal("shard keys must differ")
+	}
+	if SegmentKey("ab") == SegmentKey("cd") {
+		t.Fatal("segment keys must differ")
+	}
+}

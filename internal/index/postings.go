@@ -1,0 +1,153 @@
+package index
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// DocID identifies a document (stable per URL; assigned by the engine).
+type DocID uint32
+
+// Posting is one document's occurrence record for one term.
+type Posting struct {
+	Doc       DocID
+	TF        uint32   // term frequency
+	Positions []uint32 // token positions, ascending
+}
+
+// PostingList is a term's postings, sorted ascending by DocID.
+type PostingList []Posting
+
+// Docs returns just the document IDs of the list.
+func (pl PostingList) Docs() []DocID {
+	out := make([]DocID, len(pl))
+	for i, p := range pl {
+		out[i] = p.Doc
+	}
+	return out
+}
+
+// Find returns the posting for a document, if present, via binary search.
+func (pl PostingList) Find(doc DocID) (Posting, bool) {
+	i := sort.Search(len(pl), func(i int) bool { return pl[i].Doc >= doc })
+	if i < len(pl) && pl[i].Doc == doc {
+		return pl[i], true
+	}
+	return Posting{}, false
+}
+
+// sortCheck verifies ascending strict DocID order.
+func (pl PostingList) sortCheck() error {
+	for i := 1; i < len(pl); i++ {
+		if pl[i].Doc <= pl[i-1].Doc {
+			return fmt.Errorf("index: postings out of order at %d", i)
+		}
+	}
+	return nil
+}
+
+var errCorruptPostings = errors.New("index: corrupt postings encoding")
+
+// Encode serializes the list with delta-varint compression: doc gaps,
+// term frequencies, and position gaps.
+func (pl PostingList) Encode() []byte {
+	out := binary.AppendUvarint(nil, uint64(len(pl)))
+	prevDoc := uint64(0)
+	for _, p := range pl {
+		out = binary.AppendUvarint(out, uint64(p.Doc)-prevDoc)
+		prevDoc = uint64(p.Doc)
+		out = binary.AppendUvarint(out, uint64(p.TF))
+		out = binary.AppendUvarint(out, uint64(len(p.Positions)))
+		prevPos := uint64(0)
+		for _, pos := range p.Positions {
+			out = binary.AppendUvarint(out, uint64(pos)-prevPos)
+			prevPos = uint64(pos)
+		}
+	}
+	return out
+}
+
+// DecodePostings parses an encoded posting list and returns the remaining
+// bytes.
+func DecodePostings(data []byte) (PostingList, []byte, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, nil, errCorruptPostings
+	}
+	data = data[n:]
+	pl := make(PostingList, 0, count)
+	prevDoc := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		gap, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, nil, errCorruptPostings
+		}
+		data = data[n:]
+		doc := prevDoc + gap
+		prevDoc = doc
+		tf, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, nil, errCorruptPostings
+		}
+		data = data[n:]
+		npos, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, nil, errCorruptPostings
+		}
+		data = data[n:]
+		var positions []uint32
+		prevPos := uint64(0)
+		for j := uint64(0); j < npos; j++ {
+			pgap, n := binary.Uvarint(data)
+			if n <= 0 {
+				return nil, nil, errCorruptPostings
+			}
+			data = data[n:]
+			pos := prevPos + pgap
+			prevPos = pos
+			positions = append(positions, uint32(pos))
+		}
+		pl = append(pl, Posting{Doc: DocID(doc), TF: uint32(tf), Positions: positions})
+	}
+	return pl, data, nil
+}
+
+// mergePostingLists unions two lists; on DocID collision the posting from
+// b (the newer segment) wins.
+func mergePostingLists(a, b PostingList) PostingList {
+	out := make(PostingList, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Doc < b[j].Doc:
+			out = append(out, a[i])
+			i++
+		case a[i].Doc > b[j].Doc:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, b[j])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// dropDocs removes postings whose DocID is in the tombstone set.
+func dropDocs(pl PostingList, dead map[DocID]bool) PostingList {
+	if len(dead) == 0 {
+		return pl
+	}
+	out := pl[:0:0]
+	for _, p := range pl {
+		if !dead[p.Doc] {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// randomSegment builds a segment of random small documents.
+func randomSegment(rng *xrand.RNG, gen uint64, docBase, nDocs int) *Segment {
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "theta"}
+	b := NewBuilder(gen)
+	for d := 0; d < nDocs; d++ {
+		var text bytes.Buffer
+		length := 3 + rng.Intn(10)
+		for w := 0; w < length; w++ {
+			text.WriteString(words[rng.Intn(len(words))])
+			text.WriteByte(' ')
+		}
+		b.Add(DocID(docBase+d), text.String())
+	}
+	return b.Build()
+}
+
+// Property: merging is associative — Merge([a,b,c]) equals
+// Merge([Merge([a,b]), c]) byte-for-byte (distinct generations).
+func TestMergeAssociativityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		a := randomSegment(rng, 1, 0, 3+rng.Intn(4))
+		b := randomSegment(rng, 2, 2, 3+rng.Intn(4)) // overlaps a
+		c := randomSegment(rng, 3, 4, 3+rng.Intn(4)) // overlaps b
+		direct := Merge([]*Segment{a, b, c}).Encode()
+		stepwise := Merge([]*Segment{Merge([]*Segment{a, b}), c}).Encode()
+		return bytes.Equal(direct, stepwise)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merging a segment with itself is idempotent.
+func TestMergeIdempotentProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		s := randomSegment(rng, 5, 0, 4)
+		merged := Merge([]*Segment{s, s})
+		return bytes.Equal(merged.Encode(), Merge([]*Segment{s}).Encode())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a merged segment always validates and covers exactly the
+// union of the inputs' documents.
+func TestMergeValidityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		a := randomSegment(rng, 1, 0, 5)
+		b := randomSegment(rng, 2, 3, 5)
+		m := Merge([]*Segment{a, b})
+		if m.Validate() != nil {
+			return false
+		}
+		want := map[DocID]bool{}
+		for d := range a.DocLens {
+			want[d] = true
+		}
+		for d := range b.DocLens {
+			want[d] = true
+		}
+		if len(m.DocLens) != len(want) {
+			return false
+		}
+		for d := range want {
+			if !m.Covers(d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: stems are fixed points — analyzing a stemmed term yields the
+// same term (so queries always match documents).
+func TestStemFixedPointProperty(t *testing.T) {
+	words := []string{
+		"running", "engines", "searches", "cities", "quickly", "movement",
+		"happiness", "relations", "stopped", "believes", "colonies",
+		"decentralized", "incentivizes", "advertisers", "computation",
+	}
+	for _, w := range words {
+		s1 := Stem(w)
+		s2 := Stem(s1)
+		if s1 != s2 {
+			t.Errorf("Stem(%q) = %q but Stem(%q) = %q — not a fixed point", w, s1, s1, s2)
+		}
+		toks := Analyze(s1)
+		if len(toks) == 1 && toks[0].Term != s1 {
+			t.Errorf("Analyze(%q) = %q — stemmed term does not round-trip", s1, toks[0].Term)
+		}
+	}
+}
+
+// Property: intersection results are always sorted, deduplicated, and a
+// subset of every input list.
+func TestIntersectionInvariantProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		mk := func() []DocID {
+			n := rng.Intn(60)
+			set := map[uint32]bool{}
+			for i := 0; i < n; i++ {
+				set[uint32(rng.Intn(80))] = true
+			}
+			var out []DocID
+			for v := uint32(0); v < 80; v++ {
+				if set[v] {
+					out = append(out, DocID(v))
+				}
+			}
+			return out
+		}
+		lists := [][]DocID{mk(), mk(), mk()}
+		for _, result := range [][]DocID{IntersectMerge(lists), IntersectGallop(lists)} {
+			for i := 1; i < len(result); i++ {
+				if result[i] <= result[i-1] {
+					return false
+				}
+			}
+			for _, v := range result {
+				for _, l := range lists {
+					found := false
+					for _, x := range l {
+						if x == v {
+							found = true
+							break
+						}
+					}
+					if !found {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MinHash similarity is reflexive and symmetric, in [0,1].
+func TestMinHashProperties(t *testing.T) {
+	f := func(seedA, seedB uint64) bool {
+		rngA, rngB := xrand.New(seedA), xrand.New(seedB)
+		mk := func(rng *xrand.RNG) MinHashSig {
+			var text bytes.Buffer
+			for i := 0; i < 20+rng.Intn(30); i++ {
+				fmt.Fprintf(&text, "word%d ", rng.Intn(50))
+			}
+			return SignatureOf(text.String())
+		}
+		a, b := mk(rngA), mk(rngB)
+		if a.Similarity(a) != 1 {
+			return false
+		}
+		ab, ba := a.Similarity(b), b.Similarity(a)
+		return ab == ba && ab >= 0 && ab <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

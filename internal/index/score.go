@@ -1,0 +1,90 @@
+package index
+
+import (
+	"math"
+	"sort"
+)
+
+// BM25 parameters (standard defaults).
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// CorpusStats carries the collection-level numbers BM25 needs.
+type CorpusStats struct {
+	DocCount  int     // N
+	AvgDocLen float64 // average analyzed tokens per document
+}
+
+// Scorer computes BM25 relevance blended with page rank, the frontend's
+// ranking function. RankWeight controls how strongly page rank multiplies
+// the text score: final = bm25 * (1 + RankWeight * normalizedRank).
+type Scorer struct {
+	Stats      CorpusStats
+	RankWeight float64
+}
+
+// NewScorer builds a scorer; rankWeight 0 disables the page-rank blend.
+func NewScorer(stats CorpusStats, rankWeight float64) *Scorer {
+	if stats.AvgDocLen <= 0 {
+		stats.AvgDocLen = 1
+	}
+	if stats.DocCount <= 0 {
+		stats.DocCount = 1
+	}
+	return &Scorer{Stats: stats, RankWeight: rankWeight}
+}
+
+// IDF returns the BM25 inverse document frequency for a term with the
+// given document frequency.
+func (s *Scorer) IDF(df int) float64 {
+	n := float64(s.Stats.DocCount)
+	return math.Log(1 + (n-float64(df)+0.5)/(float64(df)+0.5))
+}
+
+// TermScore returns the BM25 contribution of one term occurrence.
+func (s *Scorer) TermScore(tf uint32, docLen uint32, df int) float64 {
+	if tf == 0 {
+		return 0
+	}
+	idf := s.IDF(df)
+	f := float64(tf)
+	dl := float64(docLen)
+	denom := f + bm25K1*(1-bm25B+bm25B*dl/s.Stats.AvgDocLen)
+	return idf * f * (bm25K1 + 1) / denom
+}
+
+// Combine blends a text score with a page rank value. Rank is normalized
+// by maxRank so the blend is scale-free; maxRank <= 0 disables the blend.
+func (s *Scorer) Combine(textScore, rank, maxRank float64) float64 {
+	if s.RankWeight <= 0 || maxRank <= 0 {
+		return textScore
+	}
+	return textScore * (1 + s.RankWeight*rank/maxRank)
+}
+
+// ScoredDoc pairs a document with its final score.
+type ScoredDoc struct {
+	Doc   DocID
+	Score float64
+}
+
+// TopK returns the k highest-scoring docs, score descending with DocID
+// ascending as the tiebreaker (so rankings are deterministic).
+func TopK(docs []ScoredDoc, k int) []ScoredDoc {
+	if k <= 0 || len(docs) == 0 {
+		return nil
+	}
+	sorted := append([]ScoredDoc(nil), docs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Score != sorted[j].Score {
+			return sorted[i].Score > sorted[j].Score
+		}
+		return sorted[i].Doc < sorted[j].Doc
+	})
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k]
+}

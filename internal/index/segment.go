@@ -1,0 +1,259 @@
+package index
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Segment is an immutable inverted-index fragment: the postings produced
+// by indexing one batch of documents. Worker bees build one delta segment
+// per publish task; shards hold a chain of segments merged on read or by
+// compaction. Gen orders segments: postings in a higher-Gen segment
+// supersede a lower-Gen segment's postings for the same document, and a
+// segment's DocLens set doubles as its tombstone set (any doc re-indexed
+// here shadows its older postings everywhere, even for terms the new
+// version no longer contains).
+type Segment struct {
+	Gen     uint64
+	Terms   map[string]PostingList
+	DocLens map[DocID]uint32 // analyzed token count per covered document
+}
+
+// NewSegment returns an empty segment with the given generation.
+func NewSegment(gen uint64) *Segment {
+	return &Segment{
+		Gen:     gen,
+		Terms:   make(map[string]PostingList),
+		DocLens: make(map[DocID]uint32),
+	}
+}
+
+// Builder accumulates documents into a segment.
+type Builder struct {
+	seg *Segment
+}
+
+// NewBuilder creates a segment builder with the given generation.
+func NewBuilder(gen uint64) *Builder {
+	return &Builder{seg: NewSegment(gen)}
+}
+
+// Add analyzes and indexes one document. Re-adding a DocID replaces its
+// postings within this builder.
+func (b *Builder) Add(doc DocID, text string) {
+	if _, dup := b.seg.DocLens[doc]; dup {
+		// Rebuild without the stale postings of this doc.
+		for term, pl := range b.seg.Terms {
+			b.seg.Terms[term] = dropDocs(pl, map[DocID]bool{doc: true})
+			if len(b.seg.Terms[term]) == 0 {
+				delete(b.seg.Terms, term)
+			}
+		}
+	}
+	tokens := Analyze(text)
+	b.seg.DocLens[doc] = uint32(len(tokens))
+	byTerm := make(map[string][]uint32)
+	for _, tok := range tokens {
+		byTerm[tok.Term] = append(byTerm[tok.Term], tok.Pos)
+	}
+	for term, positions := range byTerm {
+		p := Posting{Doc: doc, TF: uint32(len(positions)), Positions: positions}
+		pl := b.seg.Terms[term]
+		idx := sort.Search(len(pl), func(i int) bool { return pl[i].Doc >= doc })
+		pl = append(pl, Posting{})
+		copy(pl[idx+1:], pl[idx:])
+		pl[idx] = p
+		b.seg.Terms[term] = pl
+	}
+}
+
+// DocCount returns the number of documents added so far.
+func (b *Builder) DocCount() int { return len(b.seg.DocLens) }
+
+// Build finalizes and returns the segment. The builder must not be used
+// afterwards.
+func (b *Builder) Build() *Segment {
+	seg := b.seg
+	b.seg = nil
+	return seg
+}
+
+// TermsSorted returns the segment's terms in lexicographic order.
+func (s *Segment) TermsSorted() []string {
+	out := make([]string, 0, len(s.Terms))
+	for t := range s.Terms {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Postings returns the posting list for a term (nil if absent).
+func (s *Segment) Postings(term string) PostingList { return s.Terms[term] }
+
+// Covers reports whether the segment indexes (or tombstones) a document.
+func (s *Segment) Covers(doc DocID) bool {
+	_, ok := s.DocLens[doc]
+	return ok
+}
+
+var errCorruptSegment = errors.New("index: corrupt segment encoding")
+
+const segmentMagic = 0x5153 // "QS"
+
+// Encode serializes the segment deterministically (sorted terms and doc
+// IDs), so that every honest worker bee produces byte-identical segments
+// — the property commit–reveal voting relies on.
+func (s *Segment) Encode() []byte {
+	out := binary.AppendUvarint(nil, segmentMagic)
+	out = binary.AppendUvarint(out, s.Gen)
+
+	docs := make([]DocID, 0, len(s.DocLens))
+	for d := range s.DocLens {
+		docs = append(docs, d)
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i] < docs[j] })
+	out = binary.AppendUvarint(out, uint64(len(docs)))
+	prev := uint64(0)
+	for _, d := range docs {
+		out = binary.AppendUvarint(out, uint64(d)-prev)
+		prev = uint64(d)
+		out = binary.AppendUvarint(out, uint64(s.DocLens[d]))
+	}
+
+	terms := s.TermsSorted()
+	out = binary.AppendUvarint(out, uint64(len(terms)))
+	for _, t := range terms {
+		out = binary.AppendUvarint(out, uint64(len(t)))
+		out = append(out, t...)
+		enc := s.Terms[t].Encode()
+		out = binary.AppendUvarint(out, uint64(len(enc)))
+		out = append(out, enc...)
+	}
+	return out
+}
+
+// DecodeSegment parses an encoded segment.
+func DecodeSegment(data []byte) (*Segment, error) {
+	magic, n := binary.Uvarint(data)
+	if n <= 0 || magic != segmentMagic {
+		return nil, errCorruptSegment
+	}
+	data = data[n:]
+	gen, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, errCorruptSegment
+	}
+	data = data[n:]
+
+	seg := NewSegment(gen)
+	ndocs, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, errCorruptSegment
+	}
+	data = data[n:]
+	prev := uint64(0)
+	for i := uint64(0); i < ndocs; i++ {
+		gap, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, errCorruptSegment
+		}
+		data = data[n:]
+		doc := prev + gap
+		prev = doc
+		dl, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, errCorruptSegment
+		}
+		data = data[n:]
+		seg.DocLens[DocID(doc)] = uint32(dl)
+	}
+
+	nterms, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, errCorruptSegment
+	}
+	data = data[n:]
+	for i := uint64(0); i < nterms; i++ {
+		tlen, n := binary.Uvarint(data)
+		if n <= 0 || uint64(len(data)-n) < tlen {
+			return nil, errCorruptSegment
+		}
+		data = data[n:]
+		term := string(data[:tlen])
+		data = data[tlen:]
+		plen, n := binary.Uvarint(data)
+		if n <= 0 || uint64(len(data)-n) < plen {
+			return nil, errCorruptSegment
+		}
+		data = data[n:]
+		pl, rest, err := DecodePostings(data[:plen])
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, errCorruptSegment
+		}
+		if err := pl.sortCheck(); err != nil {
+			return nil, err
+		}
+		data = data[plen:]
+		seg.Terms[term] = pl
+	}
+	return seg, nil
+}
+
+// Validate checks internal consistency: sorted postings and every posting
+// doc covered by DocLens.
+func (s *Segment) Validate() error {
+	for term, pl := range s.Terms {
+		if err := pl.sortCheck(); err != nil {
+			return fmt.Errorf("term %q: %w", term, err)
+		}
+		for _, p := range pl {
+			if _, ok := s.DocLens[p.Doc]; !ok {
+				return fmt.Errorf("index: term %q posting doc %d lacks doc length", term, p.Doc)
+			}
+			if p.TF == 0 {
+				return fmt.Errorf("index: term %q doc %d zero TF", term, p.Doc)
+			}
+		}
+	}
+	return nil
+}
+
+// Merge combines segments into one. Segments are applied oldest
+// generation first; a newer segment's covered documents shadow all their
+// older postings (tombstone semantics), and its postings replace older
+// ones per term. Ties on Gen are broken by input order.
+func Merge(segments []*Segment) *Segment {
+	if len(segments) == 0 {
+		return NewSegment(0)
+	}
+	ordered := append([]*Segment(nil), segments...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Gen < ordered[j].Gen })
+
+	out := NewSegment(ordered[len(ordered)-1].Gen)
+	for _, seg := range ordered {
+		// Tombstone every doc this segment covers.
+		dead := make(map[DocID]bool, len(seg.DocLens))
+		for d := range seg.DocLens {
+			dead[d] = true
+		}
+		for term, pl := range out.Terms {
+			out.Terms[term] = dropDocs(pl, dead)
+			if len(out.Terms[term]) == 0 {
+				delete(out.Terms, term)
+			}
+		}
+		for term, pl := range seg.Terms {
+			out.Terms[term] = mergePostingLists(out.Terms[term], pl)
+		}
+		for d, l := range seg.DocLens {
+			out.DocLens[d] = l
+		}
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package index
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func buildSeg(gen uint64, docs map[DocID]string) *Segment {
+	b := NewBuilder(gen)
+	// Deterministic insertion order.
+	var ids []DocID
+	for id := range docs {
+		ids = append(ids, id)
+	}
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if ids[j] < ids[i] {
+				ids[i], ids[j] = ids[j], ids[i]
+			}
+		}
+	}
+	for _, id := range ids {
+		b.Add(id, docs[id])
+	}
+	return b.Build()
+}
+
+func TestBuilderBasic(t *testing.T) {
+	seg := buildSeg(1, map[DocID]string{
+		1: "decentralized search engine",
+		2: "decentralized web content",
+	})
+	pl := seg.Postings(Stem("decentralized"))
+	if len(pl) != 2 || pl[0].Doc != 1 || pl[1].Doc != 2 {
+		t.Fatalf("postings = %+v", pl)
+	}
+	if seg.DocLens[1] != 3 || seg.DocLens[2] != 3 {
+		t.Fatalf("doc lens = %v", seg.DocLens)
+	}
+	if err := seg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderTermFrequencyAndPositions(t *testing.T) {
+	seg := buildSeg(1, map[DocID]string{7: "bee bee honey bee"})
+	pl := seg.Postings("bee")
+	if len(pl) != 1 {
+		t.Fatalf("postings = %+v", pl)
+	}
+	p := pl[0]
+	if p.TF != 3 {
+		t.Fatalf("TF = %d, want 3", p.TF)
+	}
+	if len(p.Positions) != 3 || p.Positions[0] != 0 || p.Positions[1] != 1 || p.Positions[2] != 3 {
+		t.Fatalf("positions = %v", p.Positions)
+	}
+}
+
+func TestBuilderReAddReplacesDoc(t *testing.T) {
+	b := NewBuilder(1)
+	b.Add(5, "old content about bees")
+	b.Add(5, "completely new stuff")
+	seg := b.Build()
+	if seg.Postings("bee") != nil {
+		t.Fatal("stale postings survived re-add")
+	}
+	if seg.Postings("stuff") == nil {
+		t.Fatal("new postings missing")
+	}
+	if b2 := seg.DocLens[5]; b2 != 3 {
+		t.Fatalf("doc len = %d, want 3", b2)
+	}
+}
+
+func TestSegmentEncodeDecodeRoundTrip(t *testing.T) {
+	seg := buildSeg(42, map[DocID]string{
+		1: "queen bee honey colony worker bee",
+		9: "smart contract blockchain honey",
+		3: "decentralized search on the decentralized web",
+	})
+	enc := seg.Encode()
+	dec, err := DecodeSegment(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Gen != 42 {
+		t.Fatalf("gen = %d", dec.Gen)
+	}
+	if len(dec.Terms) != len(seg.Terms) {
+		t.Fatalf("terms = %d, want %d", len(dec.Terms), len(seg.Terms))
+	}
+	for term, pl := range seg.Terms {
+		got := dec.Postings(term)
+		if len(got) != len(pl) {
+			t.Fatalf("term %q postings = %d, want %d", term, len(got), len(pl))
+		}
+		for i := range pl {
+			if got[i].Doc != pl[i].Doc || got[i].TF != pl[i].TF {
+				t.Fatalf("term %q posting %d mismatch", term, i)
+			}
+		}
+	}
+	if err := dec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentEncodeDeterministic(t *testing.T) {
+	// Two builders adding the same docs in different orders must produce
+	// byte-identical encodings — commit-reveal voting depends on it.
+	a := NewBuilder(7)
+	a.Add(1, "alpha beta gamma")
+	a.Add(2, "beta delta")
+	b := NewBuilder(7)
+	b.Add(2, "beta delta")
+	b.Add(1, "alpha beta gamma")
+	if !bytes.Equal(a.Build().Encode(), b.Build().Encode()) {
+		t.Fatal("segment encoding depends on insertion order")
+	}
+}
+
+func TestDecodeSegmentCorrupt(t *testing.T) {
+	if _, err := DecodeSegment(nil); err == nil {
+		t.Fatal("nil should fail")
+	}
+	if _, err := DecodeSegment([]byte{0xFF, 0xFF, 0x01}); err == nil {
+		t.Fatal("bad magic should fail")
+	}
+	seg := buildSeg(1, map[DocID]string{1: "hello world"})
+	enc := seg.Encode()
+	if _, err := DecodeSegment(enc[:len(enc)/2]); err == nil {
+		t.Fatal("truncated segment should fail")
+	}
+}
+
+func TestMergeNewerGenerationWins(t *testing.T) {
+	old := buildSeg(1, map[DocID]string{1: "honey bees everywhere", 2: "old other doc"})
+	new1 := buildSeg(2, map[DocID]string{1: "fresh content no insects"})
+	merged := Merge([]*Segment{old, new1})
+
+	// Doc 1's old terms must be tombstoned even though gen 2 lacks them.
+	if pl := merged.Postings(Stem("honey")); pl != nil {
+		if _, found := pl.Find(1); found {
+			t.Fatal("stale posting for doc 1 survived merge")
+		}
+	}
+	if pl := merged.Postings("bee"); pl != nil {
+		if _, found := pl.Find(1); found {
+			t.Fatal("stale 'bee' posting survived")
+		}
+	}
+	if merged.Postings("fresh") == nil {
+		t.Fatal("new postings missing")
+	}
+	// Doc 2 untouched.
+	if merged.Postings("old") == nil {
+		t.Fatal("unrelated doc lost in merge")
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeOrderIndependence(t *testing.T) {
+	s1 := buildSeg(1, map[DocID]string{1: "one two three"})
+	s2 := buildSeg(2, map[DocID]string{2: "two three four"})
+	s3 := buildSeg(3, map[DocID]string{1: "five six"})
+	a := Merge([]*Segment{s1, s2, s3}).Encode()
+	b := Merge([]*Segment{s3, s1, s2}).Encode()
+	if !bytes.Equal(a, b) {
+		t.Fatal("merge result depends on input order despite distinct gens")
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	m := Merge(nil)
+	if len(m.Terms) != 0 || m.Gen != 0 {
+		t.Fatalf("merge of nothing = %+v", m)
+	}
+}
+
+func TestPostingsEncodeDecodeRoundTrip(t *testing.T) {
+	pl := PostingList{
+		{Doc: 3, TF: 2, Positions: []uint32{0, 9}},
+		{Doc: 100, TF: 1, Positions: []uint32{4}},
+		{Doc: 4000000, TF: 3, Positions: []uint32{1, 2, 3}},
+	}
+	dec, rest, err := DecodePostings(pl.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("trailing bytes: %d", len(rest))
+	}
+	if len(dec) != 3 || dec[2].Doc != 4000000 || dec[0].Positions[1] != 9 {
+		t.Fatalf("decoded = %+v", dec)
+	}
+}
+
+func TestPostingsRoundTripProperty(t *testing.T) {
+	f := func(docsRaw []uint32, tfRaw []uint8) bool {
+		// Build a valid sorted posting list from arbitrary input.
+		seen := map[uint32]bool{}
+		var docs []uint32
+		for _, d := range docsRaw {
+			if !seen[d] {
+				seen[d] = true
+				docs = append(docs, d)
+			}
+		}
+		for i := 0; i < len(docs); i++ {
+			for j := i + 1; j < len(docs); j++ {
+				if docs[j] < docs[i] {
+					docs[i], docs[j] = docs[j], docs[i]
+				}
+			}
+		}
+		var pl PostingList
+		for i, d := range docs {
+			tf := uint32(1)
+			if i < len(tfRaw) {
+				tf = uint32(tfRaw[i]%5) + 1
+			}
+			positions := make([]uint32, tf)
+			for p := range positions {
+				positions[p] = uint32(p * 2)
+			}
+			pl = append(pl, Posting{Doc: DocID(d), TF: tf, Positions: positions})
+		}
+		dec, rest, err := DecodePostings(pl.Encode())
+		if err != nil || len(rest) != 0 || len(dec) != len(pl) {
+			return false
+		}
+		for i := range pl {
+			if dec[i].Doc != pl[i].Doc || dec[i].TF != pl[i].TF {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindBinarySearch(t *testing.T) {
+	pl := PostingList{{Doc: 2}, {Doc: 5}, {Doc: 9}}
+	if _, ok := pl.Find(5); !ok {
+		t.Fatal("Find(5) should succeed")
+	}
+	if _, ok := pl.Find(4); ok {
+		t.Fatal("Find(4) should fail")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	seg := NewSegment(1)
+	seg.Terms["x"] = PostingList{{Doc: 5, TF: 1}}
+	// Doc 5 has no DocLen.
+	if err := seg.Validate(); err == nil {
+		t.Fatal("missing doc length should fail validation")
+	}
+	seg.DocLens[5] = 10
+	if err := seg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seg.Terms["y"] = PostingList{{Doc: 9, TF: 0}}
+	seg.DocLens[9] = 1
+	if err := seg.Validate(); err == nil {
+		t.Fatal("zero TF should fail validation")
+	}
+}

@@ -1,0 +1,52 @@
+package index
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+)
+
+// DigestOf returns the hex SHA-256 of encoded bytes: the content address
+// of a segment and the digest worker bees vote on.
+func DigestOf(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Sharding maps terms onto a fixed number of index shards; each shard's
+// segment chain lives under a deterministic DHT key, so any frontend can
+// locate the postings for a term with one hash.
+
+// DefaultShards is the default shard count for the distributed index.
+const DefaultShards = 16
+
+// ShardOf maps a term to its shard in [0, numShards).
+func ShardOf(term string, numShards int) int {
+	if numShards <= 0 {
+		numShards = DefaultShards
+	}
+	h := fnv.New32a()
+	h.Write([]byte(term))
+	return int(h.Sum32() % uint32(numShards))
+}
+
+// ShardPointerKey names the DHT record that holds a shard's segment list.
+func ShardPointerKey(shard int) string {
+	return fmt.Sprintf("qb:shard:%d", shard)
+}
+
+// SegmentKey names the DHT record holding a segment by its content
+// digest (hex SHA-256 of the encoded segment).
+func SegmentKey(digestHex string) string {
+	return "qb:seg:" + digestHex
+}
+
+// DocIDOf derives the stable DocID for a URL (FNV-32a). The 32-bit space
+// is ample for simulation corpora; collisions would only merge two URLs'
+// postings.
+func DocIDOf(url string) DocID {
+	h := fnv.New32a()
+	h.Write([]byte(url))
+	return DocID(h.Sum32())
+}

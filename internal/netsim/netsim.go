@@ -1,0 +1,380 @@
+// Package netsim simulates the peer-to-peer network underneath the DWeb.
+//
+// The simulator is synchronous and cost-accounted rather than real-time:
+// every RPC executes the target node's handler immediately (on the caller's
+// goroutine) and returns a Cost describing the simulated latency and bytes
+// on the wire. Sequential RPCs add their costs; parallel fan-outs combine
+// with Par (max of latencies, sum of bytes). This keeps experiments
+// deterministic and lets a laptop simulate thousands of nodes.
+//
+// Failure injection covers the paper's resilience claims: nodes can be
+// marked down (crash faults), the network can be split into partitions,
+// links can drop messages probabilistically, and per-node load (for the
+// DDoS experiment) inflates service time with an M/M/1-style queueing
+// delay and sheds requests beyond capacity.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// NodeID addresses a node on the simulated network.
+type NodeID string
+
+// Errors returned by Call.
+var (
+	ErrNodeDown      = errors.New("netsim: target node is down")
+	ErrUnknownNode   = errors.New("netsim: unknown node")
+	ErrPartitioned   = errors.New("netsim: nodes are in different partitions")
+	ErrDropped       = errors.New("netsim: message dropped")
+	ErrOverloaded    = errors.New("netsim: target node overloaded")
+	ErrNoHandler     = errors.New("netsim: node has no handler")
+	ErrSelfUnderload = errors.New("netsim: caller node is down")
+)
+
+// Cost accounts the simulated expense of one or more RPCs.
+type Cost struct {
+	Latency time.Duration // simulated wall time
+	Bytes   int64         // bytes moved on the wire
+	Msgs    int           // message count (requests, incl. responses implied)
+}
+
+// Seq returns the cost of performing c then d sequentially.
+func (c Cost) Seq(d Cost) Cost {
+	return Cost{Latency: c.Latency + d.Latency, Bytes: c.Bytes + d.Bytes, Msgs: c.Msgs + d.Msgs}
+}
+
+// Par returns the cost of performing c and d in parallel.
+func (c Cost) Par(d Cost) Cost {
+	lat := c.Latency
+	if d.Latency > lat {
+		lat = d.Latency
+	}
+	return Cost{Latency: lat, Bytes: c.Bytes + d.Bytes, Msgs: c.Msgs + d.Msgs}
+}
+
+// ParAll folds Par over a set of costs.
+func ParAll(costs []Cost) Cost {
+	var out Cost
+	for _, c := range costs {
+		out = out.Par(c)
+	}
+	return out
+}
+
+// Sizer lets payload types report their wire size. Payloads that do not
+// implement Sizer are charged DefaultMsgBytes.
+type Sizer interface{ WireSize() int }
+
+// DefaultMsgBytes is the assumed wire size of a payload without a Sizer.
+const DefaultMsgBytes = 128
+
+// Handler processes one inbound RPC on a node and returns the response
+// payload. Handlers run synchronously on the caller's goroutine and must be
+// safe for concurrent use.
+type Handler func(from NodeID, req any) (resp any, err error)
+
+// Config tunes the latency model.
+type Config struct {
+	Seed uint64 // RNG seed; 0 means 1
+
+	// BaseLatency is the minimum one-way delay on any link.
+	BaseLatency time.Duration
+	// MaxExtra is the additional one-way delay between the two most
+	// distant nodes; per-pair delay scales with distance in a random 2-D
+	// embedding.
+	MaxExtra time.Duration
+	// JitterFrac adds a uniform ±frac jitter to every message.
+	JitterFrac float64
+	// Bandwidth is bytes per simulated second per link; 0 disables the
+	// serialization-delay term.
+	Bandwidth float64
+}
+
+// DefaultConfig models a modest wide-area swarm: 10ms floor, up to +80ms
+// with distance, 10% jitter, 10 MB/s links.
+func DefaultConfig() Config {
+	return Config{
+		Seed:        1,
+		BaseLatency: 10 * time.Millisecond,
+		MaxExtra:    80 * time.Millisecond,
+		JitterFrac:  0.10,
+		Bandwidth:   10 << 20,
+	}
+}
+
+type nodeState struct {
+	handler   Handler
+	x, y      float64 // position in the unit square (distance → latency)
+	down      bool
+	partition int
+	capacity  float64 // requests per simulated second; 0 = unlimited
+	offered   float64 // current offered load, requests per second
+}
+
+// Network is the simulated network. Safe for concurrent use.
+type Network struct {
+	cfg Config
+
+	mu       sync.Mutex
+	rng      *xrand.RNG
+	nodes    map[NodeID]*nodeState
+	dropRate float64
+
+	stats Stats
+}
+
+// Stats aggregates global traffic counters.
+type Stats struct {
+	Calls    int64
+	Failures int64
+	Bytes    int64
+}
+
+// New creates an empty network with the given configuration.
+func New(cfg Config) *Network {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Network{
+		cfg:   cfg,
+		rng:   xrand.New(seed),
+		nodes: make(map[NodeID]*nodeState),
+	}
+}
+
+// Register adds a node. Re-registering an existing ID replaces its handler
+// but keeps its position and fault state.
+func (n *Network) Register(id NodeID, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if st, ok := n.nodes[id]; ok {
+		st.handler = h
+		return
+	}
+	n.nodes[id] = &nodeState{
+		handler: h,
+		x:       n.rng.Float64(),
+		y:       n.rng.Float64(),
+	}
+}
+
+// Unregister removes a node entirely.
+func (n *Network) Unregister(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.nodes, id)
+}
+
+// Nodes returns the IDs of all registered nodes (any order).
+func (n *Network) Nodes() []NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		out = append(out, id)
+	}
+	return out
+}
+
+// SetDown marks a node as crashed (true) or recovered (false).
+func (n *Network) SetDown(id NodeID, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if st, ok := n.nodes[id]; ok {
+		st.down = down
+	}
+}
+
+// IsDown reports whether the node is currently marked down.
+func (n *Network) IsDown(id NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st, ok := n.nodes[id]
+	return ok && st.down
+}
+
+// SetPartition assigns nodes to partition groups. Calls between different
+// groups fail with ErrPartitioned. Nodes not present in the map join group
+// 0. Passing nil heals all partitions.
+func (n *Network) SetPartition(groups map[NodeID]int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for id, st := range n.nodes {
+		if groups == nil {
+			st.partition = 0
+			continue
+		}
+		st.partition = groups[id]
+	}
+}
+
+// SetDropRate sets the probability that any message is silently dropped.
+func (n *Network) SetDropRate(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dropRate = p
+}
+
+// SetCapacity sets a node's service capacity in requests per simulated
+// second. Zero means unlimited (no queueing model).
+func (n *Network) SetCapacity(id NodeID, rps float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if st, ok := n.nodes[id]; ok {
+		st.capacity = rps
+	}
+}
+
+// SetOfferedLoad sets the node's current offered load (requests per
+// simulated second), e.g. attack traffic aimed at it. The queueing model
+// uses utilization = offered/capacity.
+func (n *Network) SetOfferedLoad(id NodeID, rps float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if st, ok := n.nodes[id]; ok {
+		st.offered = rps
+	}
+}
+
+// StatsSnapshot returns a copy of the global counters.
+func (n *Network) StatsSnapshot() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// ResetStats zeroes the global counters.
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = Stats{}
+}
+
+// payloadSize estimates the wire size of a payload.
+func payloadSize(p any) int64 {
+	if s, ok := p.(Sizer); ok {
+		return int64(s.WireSize())
+	}
+	return DefaultMsgBytes
+}
+
+// Call performs a synchronous RPC from one node to another and returns the
+// response together with the simulated round-trip cost. The returned cost
+// is meaningful even when err != nil (a timeout still costs time: failed
+// calls are charged one base round trip so that retry loops accumulate
+// simulated delay).
+func (n *Network) Call(from, to NodeID, req any) (resp any, cost Cost, err error) {
+	n.mu.Lock()
+	src, okSrc := n.nodes[from]
+	dst, okDst := n.nodes[to]
+	n.stats.Calls++
+
+	fail := func(e error) (any, Cost, error) {
+		n.stats.Failures++
+		c := Cost{Latency: 2 * n.cfg.BaseLatency, Msgs: 1}
+		n.mu.Unlock()
+		return nil, c, e
+	}
+
+	switch {
+	case !okSrc:
+		return fail(fmt.Errorf("%w: %s", ErrUnknownNode, from))
+	case !okDst:
+		return fail(fmt.Errorf("%w: %s", ErrUnknownNode, to))
+	case src.down:
+		return fail(ErrSelfUnderload)
+	case dst.down:
+		return fail(ErrNodeDown)
+	case src.partition != dst.partition:
+		return fail(ErrPartitioned)
+	case dst.handler == nil:
+		return fail(ErrNoHandler)
+	}
+	if n.dropRate > 0 && n.rng.Bool(n.dropRate) {
+		return fail(ErrDropped)
+	}
+
+	// Queueing model: overload sheds requests, high utilization inflates
+	// service time (M/M/1 waiting factor, capped).
+	var queueDelay time.Duration
+	if dst.capacity > 0 && dst.offered > 0 {
+		rho := dst.offered / dst.capacity
+		if rho >= 1 {
+			// Saturated: only capacity/offered of requests survive.
+			if !n.rng.Bool(1 / rho) {
+				return fail(ErrOverloaded)
+			}
+			queueDelay = time.Duration(20) * n.cfg.BaseLatency
+		} else {
+			wait := rho / (1 - rho)
+			if wait > 20 {
+				wait = 20
+			}
+			queueDelay = time.Duration(float64(n.cfg.BaseLatency) * wait)
+		}
+	}
+
+	reqBytes := payloadSize(req)
+	oneWay := n.linkLatencyLocked(src, dst)
+	handler := dst.handler
+	n.mu.Unlock()
+
+	resp, err = handler(from, req)
+
+	n.mu.Lock()
+	respBytes := payloadSize(resp)
+	totalBytes := reqBytes + respBytes
+	var xfer time.Duration
+	if n.cfg.Bandwidth > 0 {
+		xfer = time.Duration(float64(totalBytes) / n.cfg.Bandwidth * float64(time.Second))
+	}
+	cost = Cost{
+		Latency: 2*oneWay + queueDelay + xfer,
+		Bytes:   totalBytes,
+		Msgs:    1,
+	}
+	n.stats.Bytes += totalBytes
+	if err != nil {
+		n.stats.Failures++
+	}
+	n.mu.Unlock()
+	return resp, cost, err
+}
+
+// linkLatencyLocked computes the one-way delay between two nodes from the
+// 2-D embedding plus jitter. Caller holds n.mu.
+func (n *Network) linkLatencyLocked(a, b *nodeState) time.Duration {
+	dx, dy := a.x-b.x, a.y-b.y
+	dist := math.Sqrt(dx*dx+dy*dy) / math.Sqrt2 // normalized to [0,1]
+	lat := float64(n.cfg.BaseLatency) + dist*float64(n.cfg.MaxExtra)
+	if n.cfg.JitterFrac > 0 {
+		j := 1 + n.cfg.JitterFrac*(2*n.rng.Float64()-1)
+		lat *= j
+	}
+	return time.Duration(lat)
+}
+
+// Broadcast calls every node except the sender with the same payload, in
+// parallel cost terms. It returns the number of successful deliveries and
+// the combined cost.
+func (n *Network) Broadcast(from NodeID, req any) (delivered int, cost Cost) {
+	for _, id := range n.Nodes() {
+		if id == from {
+			continue
+		}
+		_, c, err := n.Call(from, id, req)
+		cost = cost.Par(c)
+		if err == nil {
+			delivered++
+		}
+	}
+	return delivered, cost
+}

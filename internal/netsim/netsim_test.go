@@ -1,0 +1,283 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func echoHandler(from NodeID, req any) (any, error) { return req, nil }
+
+func newTestNet(t *testing.T, ids ...NodeID) *Network {
+	t.Helper()
+	n := New(DefaultConfig())
+	for _, id := range ids {
+		n.Register(id, echoHandler)
+	}
+	return n
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	n := newTestNet(t, "a", "b")
+	resp, cost, err := n.Call("a", "b", "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "hello" {
+		t.Fatalf("resp = %v, want hello", resp)
+	}
+	if cost.Latency < 2*10*time.Millisecond/2 {
+		t.Fatalf("latency %v implausibly small", cost.Latency)
+	}
+	if cost.Bytes != 2*DefaultMsgBytes {
+		t.Fatalf("bytes = %d, want %d", cost.Bytes, 2*DefaultMsgBytes)
+	}
+	if cost.Msgs != 1 {
+		t.Fatalf("msgs = %d, want 1", cost.Msgs)
+	}
+}
+
+func TestCallUnknownNode(t *testing.T) {
+	n := newTestNet(t, "a")
+	if _, _, err := n.Call("a", "ghost", 1); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v, want ErrUnknownNode", err)
+	}
+	if _, _, err := n.Call("ghost", "a", 1); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestCallDownNode(t *testing.T) {
+	n := newTestNet(t, "a", "b")
+	n.SetDown("b", true)
+	if _, _, err := n.Call("a", "b", 1); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("err = %v, want ErrNodeDown", err)
+	}
+	if !n.IsDown("b") {
+		t.Fatal("IsDown should report true")
+	}
+	n.SetDown("b", false)
+	if _, _, err := n.Call("a", "b", 1); err != nil {
+		t.Fatalf("recovered node should accept calls: %v", err)
+	}
+}
+
+func TestFailedCallStillCostsTime(t *testing.T) {
+	n := newTestNet(t, "a", "b")
+	n.SetDown("b", true)
+	_, cost, _ := n.Call("a", "b", 1)
+	if cost.Latency <= 0 {
+		t.Fatal("failed call should cost simulated time")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	n := newTestNet(t, "a", "b", "c")
+	n.SetPartition(map[NodeID]int{"a": 0, "b": 1, "c": 0})
+	if _, _, err := n.Call("a", "b", 1); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("cross-partition err = %v, want ErrPartitioned", err)
+	}
+	if _, _, err := n.Call("a", "c", 1); err != nil {
+		t.Fatalf("same-partition call failed: %v", err)
+	}
+	n.SetPartition(nil) // heal
+	if _, _, err := n.Call("a", "b", 1); err != nil {
+		t.Fatalf("healed call failed: %v", err)
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	n := newTestNet(t, "a", "b")
+	n.SetDropRate(1.0)
+	if _, _, err := n.Call("a", "b", 1); !errors.Is(err, ErrDropped) {
+		t.Fatalf("err = %v, want ErrDropped", err)
+	}
+	n.SetDropRate(0)
+	if _, _, err := n.Call("a", "b", 1); err != nil {
+		t.Fatalf("err after clearing drop rate: %v", err)
+	}
+}
+
+func TestDropRatePartial(t *testing.T) {
+	n := newTestNet(t, "a", "b")
+	n.SetDropRate(0.5)
+	drops := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		if _, _, err := n.Call("a", "b", 1); err != nil {
+			drops++
+		}
+	}
+	if drops < trials/3 || drops > 2*trials/3 {
+		t.Fatalf("drops = %d/%d, want ~half", drops, trials)
+	}
+}
+
+func TestOverloadShedding(t *testing.T) {
+	n := newTestNet(t, "a", "srv")
+	n.SetCapacity("srv", 100)
+	n.SetOfferedLoad("srv", 400) // 4x over capacity
+	ok := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		if _, _, err := n.Call("a", "srv", 1); err == nil {
+			ok++
+		}
+	}
+	frac := float64(ok) / trials
+	if frac < 0.15 || frac > 0.35 {
+		t.Fatalf("survival fraction = %v, want ~0.25", frac)
+	}
+}
+
+func TestQueueingDelayGrowsWithUtilization(t *testing.T) {
+	n := newTestNet(t, "a", "srv")
+	n.SetCapacity("srv", 100)
+
+	measure := func(load float64) time.Duration {
+		n.SetOfferedLoad("srv", load)
+		var total time.Duration
+		const trials = 50
+		for i := 0; i < trials; i++ {
+			_, c, err := n.Call("a", "srv", 1)
+			if err != nil {
+				t.Fatalf("unexpected shed at load %v: %v", load, err)
+			}
+			total += c.Latency
+		}
+		return total / trials
+	}
+
+	low := measure(10)  // rho = 0.1
+	high := measure(90) // rho = 0.9
+	if high <= low {
+		t.Fatalf("latency at rho=0.9 (%v) should exceed rho=0.1 (%v)", high, low)
+	}
+}
+
+func TestCostSeqPar(t *testing.T) {
+	a := Cost{Latency: 10 * time.Millisecond, Bytes: 100, Msgs: 1}
+	b := Cost{Latency: 30 * time.Millisecond, Bytes: 50, Msgs: 2}
+	seq := a.Seq(b)
+	if seq.Latency != 40*time.Millisecond || seq.Bytes != 150 || seq.Msgs != 3 {
+		t.Fatalf("Seq = %+v", seq)
+	}
+	par := a.Par(b)
+	if par.Latency != 30*time.Millisecond || par.Bytes != 150 || par.Msgs != 3 {
+		t.Fatalf("Par = %+v", par)
+	}
+	all := ParAll([]Cost{a, b, {Latency: 5 * time.Millisecond}})
+	if all.Latency != 30*time.Millisecond {
+		t.Fatalf("ParAll latency = %v", all.Latency)
+	}
+}
+
+type sized struct{ n int }
+
+func (s sized) WireSize() int { return s.n }
+
+func TestSizerPayloads(t *testing.T) {
+	n := newTestNet(t, "a", "b")
+	n.Register("b", func(from NodeID, req any) (any, error) {
+		return sized{n: 1000}, nil
+	})
+	_, cost, err := n.Call("a", "b", sized{n: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Bytes != 1500 {
+		t.Fatalf("bytes = %d, want 1500", cost.Bytes)
+	}
+}
+
+func TestBandwidthAddsTransferDelay(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JitterFrac = 0
+	cfg.MaxExtra = 0
+	n := New(cfg)
+	n.Register("a", echoHandler)
+	n.Register("b", echoHandler)
+	_, small, _ := n.Call("a", "b", sized{n: 100})
+	_, large, _ := n.Call("a", "b", sized{n: 10 << 20}) // 10 MB at 10 MB/s ≈ 1s
+	if large.Latency-small.Latency < 500*time.Millisecond {
+		t.Fatalf("large transfer %v not slower than small %v", large.Latency, small.Latency)
+	}
+}
+
+func TestStats(t *testing.T) {
+	n := newTestNet(t, "a", "b")
+	n.Call("a", "b", 1)
+	n.SetDown("b", true)
+	n.Call("a", "b", 1)
+	s := n.StatsSnapshot()
+	if s.Calls != 2 {
+		t.Fatalf("Calls = %d, want 2", s.Calls)
+	}
+	if s.Failures != 1 {
+		t.Fatalf("Failures = %d, want 1", s.Failures)
+	}
+	if s.Bytes == 0 {
+		t.Fatal("Bytes should be counted")
+	}
+	n.ResetStats()
+	if s := n.StatsSnapshot(); s.Calls != 0 {
+		t.Fatal("ResetStats did not zero counters")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	n := newTestNet(t, "a", "b", "c", "d")
+	n.SetDown("d", true)
+	delivered, cost := n.Broadcast("a", "ping")
+	if delivered != 2 {
+		t.Fatalf("delivered = %d, want 2", delivered)
+	}
+	if cost.Msgs != 3 {
+		t.Fatalf("msgs = %d, want 3", cost.Msgs)
+	}
+}
+
+func TestDeterministicLatency(t *testing.T) {
+	run := func() []time.Duration {
+		n := New(DefaultConfig())
+		n.Register("a", echoHandler)
+		n.Register("b", echoHandler)
+		var out []time.Duration
+		for i := 0; i < 20; i++ {
+			_, c, _ := n.Call("a", "b", i)
+			out = append(out, c.Latency)
+		}
+		return out
+	}
+	x, y := run(), run()
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("nondeterministic latency at call %d: %v vs %v", i, x[i], y[i])
+		}
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	n := newTestNet(t, "a", "b")
+	n.Unregister("b")
+	if _, _, err := n.Call("a", "b", 1); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v, want ErrUnknownNode", err)
+	}
+	if len(n.Nodes()) != 1 {
+		t.Fatalf("Nodes = %v, want 1 node", n.Nodes())
+	}
+}
+
+func TestReRegisterKeepsPosition(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JitterFrac = 0
+	n := New(cfg)
+	n.Register("a", echoHandler)
+	n.Register("b", echoHandler)
+	_, before, _ := n.Call("a", "b", 1)
+	n.Register("b", echoHandler) // replace handler
+	_, after, _ := n.Call("a", "b", 1)
+	if before.Latency != after.Latency {
+		t.Fatalf("latency changed after re-register: %v vs %v", before.Latency, after.Latency)
+	}
+}

@@ -1,0 +1,92 @@
+// Package rank implements the page-rank side of QueenBee: the link graph
+// extracted from publish records, power-iteration PageRank with dangling-
+// node handling, block-partitioned computation (what each worker-bee rank
+// task covers), warm-started incremental recomputation, and the residual
+// traces experiment E8 plots.
+package rank
+
+import "sort"
+
+// Graph is a directed link graph over URL nodes. Construct with
+// NewGraph; nodes are ordered lexicographically so computations are
+// deterministic regardless of map iteration order.
+type Graph struct {
+	urls []string
+	idx  map[string]int
+	out  [][]int32 // adjacency: outgoing edges
+}
+
+// NewGraph builds a graph from url → outgoing links. Links to URLs that
+// are not themselves nodes are dropped (the DWeb analogue of a link to an
+// unpublished page). Self-links and duplicate edges are dropped too.
+func NewGraph(links map[string][]string) *Graph {
+	urls := make([]string, 0, len(links))
+	for u := range links {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	idx := make(map[string]int, len(urls))
+	for i, u := range urls {
+		idx[u] = i
+	}
+	out := make([][]int32, len(urls))
+	for i, u := range urls {
+		seen := make(map[int32]bool)
+		for _, dst := range links[u] {
+			j, ok := idx[dst]
+			if !ok || j == i {
+				continue
+			}
+			if !seen[int32(j)] {
+				seen[int32(j)] = true
+				out[i] = append(out[i], int32(j))
+			}
+		}
+		sort.Slice(out[i], func(a, b int) bool { return out[i][a] < out[i][b] })
+	}
+	return &Graph{urls: urls, idx: idx, out: out}
+}
+
+// Size returns the number of nodes.
+func (g *Graph) Size() int { return len(g.urls) }
+
+// URL returns the URL of node i.
+func (g *Graph) URL(i int) string { return g.urls[i] }
+
+// NodeOf returns the node index of a URL.
+func (g *Graph) NodeOf(url string) (int, bool) {
+	i, ok := g.idx[url]
+	return i, ok
+}
+
+// OutDegree returns the number of outgoing edges of node i.
+func (g *Graph) OutDegree(i int) int { return len(g.out[i]) }
+
+// EdgeCount returns the total number of edges.
+func (g *Graph) EdgeCount() int {
+	n := 0
+	for _, e := range g.out {
+		n += len(e)
+	}
+	return n
+}
+
+// Partition splits [0, n) into p nearly equal contiguous ranges. Fewer
+// than p nodes yields fewer partitions.
+func Partition(n, p int) [][2]int {
+	if p <= 0 {
+		p = 1
+	}
+	if p > n {
+		p = n
+	}
+	var out [][2]int
+	for i := 0; i < p; i++ {
+		lo := i * n / p
+		hi := (i + 1) * n / p
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package rank
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func chainGraph(n int) map[string][]string {
+	links := make(map[string][]string)
+	for i := 0; i < n; i++ {
+		u := url(i)
+		if i+1 < n {
+			links[u] = []string{url(i + 1)}
+		} else {
+			links[u] = nil
+		}
+	}
+	return links
+}
+
+func url(i int) string {
+	return string(rune('a'+i/26)) + string(rune('a'+i%26))
+}
+
+func TestGraphConstruction(t *testing.T) {
+	g := NewGraph(map[string][]string{
+		"b": {"a", "a", "b", "ghost"},
+		"a": {"b"},
+	})
+	if g.Size() != 2 {
+		t.Fatalf("size = %d", g.Size())
+	}
+	// Deterministic lexicographic node order.
+	if g.URL(0) != "a" || g.URL(1) != "b" {
+		t.Fatalf("order = %s,%s", g.URL(0), g.URL(1))
+	}
+	// b's duplicate edge, self-link and dangling target dropped.
+	bi, _ := g.NodeOf("b")
+	if g.OutDegree(bi) != 1 {
+		t.Fatalf("outdeg(b) = %d, want 1", g.OutDegree(bi))
+	}
+	if g.EdgeCount() != 2 {
+		t.Fatalf("edges = %d, want 2", g.EdgeCount())
+	}
+}
+
+func TestRanksSumToOne(t *testing.T) {
+	rng := xrand.New(5)
+	links := make(map[string][]string)
+	for i := 0; i < 100; i++ {
+		var out []string
+		for j := 0; j < rng.Intn(5); j++ {
+			out = append(out, url(rng.Intn(100)))
+		}
+		links[url(i)] = out
+	}
+	g := NewGraph(links)
+	res := Compute(g, DefaultOptions())
+	var sum float64
+	for _, r := range res.Ranks {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("ranks sum = %v, want 1", sum)
+	}
+}
+
+func TestHubGetsHighestRank(t *testing.T) {
+	// Every node links to the hub.
+	links := map[string][]string{"hub": nil}
+	for i := 0; i < 20; i++ {
+		links[url(i)] = []string{"hub"}
+	}
+	g := NewGraph(links)
+	res := Compute(g, DefaultOptions())
+	hub, _ := g.NodeOf("hub")
+	for i := range res.Ranks {
+		if i != hub && res.Ranks[i] >= res.Ranks[hub] {
+			t.Fatalf("node %s (%v) outranks hub (%v)", g.URL(i), res.Ranks[i], res.Ranks[hub])
+		}
+	}
+	top := TopN(res.Ranks, 1)
+	if top[0] != hub {
+		t.Fatalf("TopN = %v, want hub %d", top, hub)
+	}
+}
+
+func TestResidualsDecrease(t *testing.T) {
+	g := NewGraph(chainGraph(50))
+	res := Compute(g, DefaultOptions())
+	if len(res.Residuals) < 2 {
+		t.Fatalf("too few residuals: %v", res.Residuals)
+	}
+	if res.Residuals[len(res.Residuals)-1] >= res.Residuals[0] {
+		t.Fatal("residuals should decrease")
+	}
+	if res.Iterations != len(res.Residuals) {
+		t.Fatal("iteration count mismatch")
+	}
+}
+
+func TestConvergenceTolerance(t *testing.T) {
+	g := NewGraph(chainGraph(30))
+	opts := DefaultOptions()
+	opts.Tolerance = 1e-12
+	res := Compute(g, opts)
+	last := res.Residuals[len(res.Residuals)-1]
+	if last >= 1e-12 && res.Iterations < opts.MaxIters {
+		t.Fatalf("stopped early with residual %v", last)
+	}
+}
+
+func TestBlockedMatchesSequential(t *testing.T) {
+	rng := xrand.New(9)
+	links := make(map[string][]string)
+	for i := 0; i < 60; i++ {
+		var out []string
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			out = append(out, url(rng.Intn(60)))
+		}
+		links[url(i)] = out
+	}
+	g := NewGraph(links)
+	seq := Compute(g, DefaultOptions())
+	for _, p := range []int{1, 2, 4, 7} {
+		blocked, msgs := ComputeBlocked(g, p, DefaultOptions())
+		if blocked.Iterations != seq.Iterations {
+			t.Fatalf("p=%d iterations %d != %d", p, blocked.Iterations, seq.Iterations)
+		}
+		for i := range seq.Ranks {
+			if math.Abs(seq.Ranks[i]-blocked.Ranks[i]) > 1e-12 {
+				t.Fatalf("p=%d rank[%d] diverges", p, i)
+			}
+		}
+		if p > 1 && msgs == 0 {
+			t.Fatal("blocked computation should count messages")
+		}
+	}
+}
+
+func TestIncrementalWarmStartConvergesFaster(t *testing.T) {
+	rng := xrand.New(11)
+	links := make(map[string][]string)
+	for i := 0; i < 200; i++ {
+		var out []string
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			out = append(out, url(rng.Intn(200)))
+		}
+		links[url(i)] = out
+	}
+	g := NewGraph(links)
+	opts := DefaultOptions()
+	base := Compute(g, opts)
+
+	// Small change: one new page.
+	links["zz"] = []string{url(0)}
+	g2 := NewGraph(links)
+	cold := Compute(g2, opts)
+
+	// Warm start from the previous vector (padded/renormalized inside).
+	warm := ComputeFrom(g2, base.Ranks, opts)
+	if warm.Iterations >= cold.Iterations {
+		t.Fatalf("warm start %d iters should beat cold %d", warm.Iterations, cold.Iterations)
+	}
+	for i := range cold.Ranks {
+		if math.Abs(cold.Ranks[i]-warm.Ranks[i]) > 1e-6 {
+			t.Fatalf("warm and cold disagree at %d", i)
+		}
+	}
+}
+
+func TestDanglingNodesConserveMass(t *testing.T) {
+	// Star with a dangling center.
+	links := map[string][]string{"center": nil}
+	for i := 0; i < 10; i++ {
+		links[url(i)] = []string{"center"}
+	}
+	g := NewGraph(links)
+	res := Compute(g, DefaultOptions())
+	var sum float64
+	for _, r := range res.Ranks {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("mass leaked: sum = %v", sum)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewGraph(nil)
+	res := Compute(g, DefaultOptions())
+	if len(res.Ranks) != 0 {
+		t.Fatalf("ranks = %v", res.Ranks)
+	}
+	if _, msgs := ComputeBlocked(g, 4, DefaultOptions()); msgs != 0 {
+		t.Fatal("empty graph should exchange no messages")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	parts := Partition(10, 3)
+	if len(parts) != 3 {
+		t.Fatalf("parts = %v", parts)
+	}
+	covered := 0
+	prevHi := 0
+	for _, p := range parts {
+		if p[0] != prevHi {
+			t.Fatalf("gap in partitions: %v", parts)
+		}
+		covered += p[1] - p[0]
+		prevHi = p[1]
+	}
+	if covered != 10 {
+		t.Fatalf("covered %d of 10", covered)
+	}
+	if got := Partition(2, 5); len(got) != 2 {
+		t.Fatalf("more parts than nodes: %v", got)
+	}
+	if got := Partition(5, 0); len(got) != 1 {
+		t.Fatalf("p=0 should clamp to 1: %v", got)
+	}
+}
+
+func TestTopNOrdering(t *testing.T) {
+	ranks := []float64{0.1, 0.5, 0.3, 0.5}
+	top := TopN(ranks, 3)
+	if top[0] != 1 || top[1] != 3 || top[2] != 2 {
+		t.Fatalf("top = %v", top)
+	}
+	if got := TopN(ranks, 99); len(got) != 4 {
+		t.Fatal("n>len should return all")
+	}
+}
+
+func TestDeterministicAcrossMapOrder(t *testing.T) {
+	// Build the same graph twice; map iteration order must not matter.
+	build := func() []float64 {
+		links := make(map[string][]string)
+		for i := 0; i < 50; i++ {
+			links[url(i)] = []string{url((i + 7) % 50), url((i + 13) % 50)}
+		}
+		return Compute(NewGraph(links), DefaultOptions()).Ranks
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("PageRank not deterministic")
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// Package store implements the DWeb content substrate the paper assumes:
+// an IPFS-like content-addressed block store. Every content piece is
+// identified by the cryptographic hash of its bytes (tamper-proofing),
+// large documents are chunked into a Merkle DAG, blocks replicate onto the
+// peers that fetch them ("devices that retrieve web contents also serve
+// their cached data to peer devices"), and providers are discovered
+// through the DHT.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"repro/internal/dht"
+)
+
+// CID is a content identifier: the SHA-256 digest of a block's bytes.
+type CID [32]byte
+
+// CIDOf computes the content identifier of raw bytes.
+func CIDOf(data []byte) CID { return sha256.Sum256(data) }
+
+// String returns the hex form of the CID.
+func (c CID) String() string { return hex.EncodeToString(c[:]) }
+
+// Short returns an 8-hex-digit prefix for logs.
+func (c CID) Short() string { return hex.EncodeToString(c[:4]) }
+
+// IsZero reports whether the CID is unset.
+func (c CID) IsZero() bool { return c == CID{} }
+
+// Key maps the CID into the DHT keyspace (for provider records).
+func (c CID) Key() dht.Key { return dht.KeyOf(c[:]) }
+
+// Verify reports whether data hashes to this CID. This check is the
+// mechanism behind the paper's "tamper-proof contents" claim: a peer that
+// serves modified bytes is detected immediately.
+func (c CID) Verify(data []byte) bool { return CIDOf(data) == c }

@@ -1,0 +1,106 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// DefaultChunkSize is the leaf block size for chunked documents.
+const DefaultChunkSize = 4096
+
+// manifestMagic prefixes manifest (interior DAG) blocks so leaves that
+// happen to start with the same bytes cannot be confused: a leaf block is
+// always stored with a 1-byte 0x00 prefix, a manifest with 0x01.
+const (
+	leafPrefix     = 0x00
+	manifestPrefix = 0x01
+)
+
+var errCorruptManifest = errors.New("store: corrupt manifest block")
+
+// EncodeLeaf wraps raw chunk bytes into a leaf block.
+func EncodeLeaf(chunk []byte) []byte {
+	out := make([]byte, 1+len(chunk))
+	out[0] = leafPrefix
+	copy(out[1:], chunk)
+	return out
+}
+
+// EncodeManifest builds an interior block holding the ordered child CIDs
+// and the total payload length.
+func EncodeManifest(children []CID, totalLen int) []byte {
+	out := make([]byte, 0, 1+binary.MaxVarintLen64*2+len(children)*32)
+	out = append(out, manifestPrefix)
+	out = binary.AppendUvarint(out, uint64(totalLen))
+	out = binary.AppendUvarint(out, uint64(len(children)))
+	for _, c := range children {
+		out = append(out, c[:]...)
+	}
+	return out
+}
+
+// DecodeBlock classifies a block and returns either the leaf payload or
+// the manifest children.
+func DecodeBlock(block []byte) (leaf []byte, children []CID, totalLen int, err error) {
+	if len(block) == 0 {
+		return nil, nil, 0, errCorruptManifest
+	}
+	switch block[0] {
+	case leafPrefix:
+		return block[1:], nil, len(block) - 1, nil
+	case manifestPrefix:
+		rest := block[1:]
+		tl, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, nil, 0, errCorruptManifest
+		}
+		rest = rest[n:]
+		count, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, nil, 0, errCorruptManifest
+		}
+		rest = rest[n:]
+		if uint64(len(rest)) != count*32 {
+			return nil, nil, 0, errCorruptManifest
+		}
+		kids := make([]CID, count)
+		for i := range kids {
+			copy(kids[i][:], rest[i*32:(i+1)*32])
+		}
+		return nil, kids, int(tl), nil
+	default:
+		return nil, nil, 0, fmt.Errorf("store: unknown block prefix 0x%02x", block[0])
+	}
+}
+
+// ChunkDocument splits data into leaf blocks of at most chunkSize payload
+// bytes and, when more than one leaf results, a manifest root. It returns
+// the root CID and every block (root last) keyed by CID.
+func ChunkDocument(data []byte, chunkSize int) (root CID, blocks map[CID][]byte) {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	blocks = make(map[CID][]byte)
+	if len(data) <= chunkSize {
+		b := EncodeLeaf(data)
+		cid := CIDOf(b)
+		blocks[cid] = b
+		return cid, blocks
+	}
+	var children []CID
+	for off := 0; off < len(data); off += chunkSize {
+		end := off + chunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		b := EncodeLeaf(data[off:end])
+		cid := CIDOf(b)
+		blocks[cid] = b
+		children = append(children, cid)
+	}
+	m := EncodeManifest(children, len(data))
+	root = CIDOf(m)
+	blocks[root] = m
+	return root, blocks
+}

@@ -1,0 +1,381 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dht"
+	"repro/internal/netsim"
+)
+
+// Errors returned by Fetch.
+var (
+	ErrNoProviders = errors.New("store: no providers found")
+	ErrAllTampered = errors.New("store: every provider served tampered data")
+)
+
+// blockReq asks a peer for one block by CID.
+type blockReq struct {
+	CID CID
+}
+
+type blockResp struct {
+	Found bool
+	Data  []byte
+}
+
+func (blockReq) WireSize() int    { return 40 }
+func (r blockResp) WireSize() int { return 8 + len(r.Data) }
+
+// PeerConfig tunes one DWeb peer.
+type PeerConfig struct {
+	// ChunkSize is the leaf payload size for Add.
+	ChunkSize int
+	// CacheCapacity bounds the peer's cache in bytes.
+	CacheCapacity int64
+	// ServeCache controls whether the peer announces itself as a provider
+	// for content it fetched (the DWeb "retrievers also serve" behaviour).
+	ServeCache bool
+	// MaxProviders bounds how many providers a fetch will try.
+	MaxProviders int
+	// Swarming stripes chunk downloads of multi-block documents across
+	// all known providers in parallel instead of pulling from one.
+	Swarming bool
+}
+
+// DefaultPeerConfig returns simulation defaults: 4 KiB chunks, 16 MiB
+// cache, cache serving on.
+func DefaultPeerConfig() PeerConfig {
+	return PeerConfig{
+		ChunkSize:     DefaultChunkSize,
+		CacheCapacity: 16 << 20,
+		ServeCache:    true,
+		MaxProviders:  8,
+	}
+}
+
+// Peer is one DWeb device: a DHT node plus a content block store. Creating
+// a Peer re-registers the node's network handler with one that serves
+// block requests and delegates everything else to the DHT.
+type Peer struct {
+	cfg    PeerConfig
+	dht    *dht.Node
+	net    *netsim.Network
+	blocks *BlockStore
+
+	tamperDetected atomic.Int64
+	blocksServed   atomic.Int64
+}
+
+// NewPeer wraps an existing DHT node with content storage.
+func NewPeer(net *netsim.Network, d *dht.Node, cfg PeerConfig) *Peer {
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = DefaultChunkSize
+	}
+	if cfg.MaxProviders <= 0 {
+		cfg.MaxProviders = 8
+	}
+	p := &Peer{
+		cfg:    cfg,
+		dht:    d,
+		net:    net,
+		blocks: NewBlockStore(cfg.CacheCapacity),
+	}
+	net.Register(d.Self().Addr, p.HandleRPC)
+	return p
+}
+
+// DHT returns the peer's underlying DHT node.
+func (p *Peer) DHT() *dht.Node { return p.dht }
+
+// Addr returns the peer's network address.
+func (p *Peer) Addr() netsim.NodeID { return p.dht.Self().Addr }
+
+// Blocks exposes the local block store (tests and fault injection).
+func (p *Peer) Blocks() *BlockStore { return p.blocks }
+
+// TamperDetections returns how many tampered blocks this peer rejected.
+func (p *Peer) TamperDetections() int64 { return p.tamperDetected.Load() }
+
+// BlocksServed returns how many block requests this peer answered.
+func (p *Peer) BlocksServed() int64 { return p.blocksServed.Load() }
+
+// HandleRPC serves block requests and forwards other traffic to the DHT.
+func (p *Peer) HandleRPC(from netsim.NodeID, req any) (any, error) {
+	if br, ok := req.(blockReq); ok {
+		data, found := p.blocks.Get(br.CID)
+		if found {
+			p.blocksServed.Add(1)
+		}
+		return blockResp{Found: found, Data: data}, nil
+	}
+	return p.dht.HandleRPC(from, req)
+}
+
+// Add publishes a document: chunks it, pins every block, and announces
+// this peer as a provider for the root. It returns the root CID.
+func (p *Peer) Add(data []byte) (CID, netsim.Cost, error) {
+	root, blocks := ChunkDocument(data, p.cfg.ChunkSize)
+	for _, b := range blocks {
+		p.blocks.Pin(b)
+	}
+	_, cost, err := p.dht.Provide(root.Key())
+	if err != nil {
+		return root, cost, fmt.Errorf("store: announcing %s: %w", root.Short(), err)
+	}
+	return root, cost, nil
+}
+
+// Fetch retrieves a document by root CID: local store first, then
+// provider discovery through the DHT, block transfer, and per-block hash
+// verification. Tampered blocks are rejected and the next provider is
+// tried. On success the blocks are cached and (if configured) re-provided.
+func (p *Peer) Fetch(root CID) ([]byte, netsim.Cost, error) {
+	var total netsim.Cost
+
+	if data, ok, err := p.assembleLocal(root); ok || err != nil {
+		return data, total, err
+	}
+
+	provs, cost, err := p.dht.FindProviders(root.Key(), p.cfg.MaxProviders)
+	total = total.Seq(cost)
+	if err != nil {
+		return nil, total, fmt.Errorf("%w: %s", ErrNoProviders, root.Short())
+	}
+
+	// Provider selection: ping candidates (in parallel) and prefer the
+	// lowest round-trip time — with more cache replicas the nearest one
+	// gets closer, which is where the DWeb latency advantage comes from.
+	type candidate struct {
+		addr netsim.NodeID
+		rtt  time.Duration
+	}
+	var candidates []candidate
+	var pingCost netsim.Cost
+	for _, prov := range provs {
+		if prov.Addr == p.Addr() {
+			continue
+		}
+		cost, err := p.dht.Ping(prov)
+		pingCost = pingCost.Par(cost)
+		if err != nil {
+			continue
+		}
+		candidates = append(candidates, candidate{addr: prov.Addr, rtt: cost.Latency})
+	}
+	total = total.Seq(pingCost)
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].rtt != candidates[j].rtt {
+			return candidates[i].rtt < candidates[j].rtt
+		}
+		return candidates[i].addr < candidates[j].addr
+	})
+
+	sawTamper := false
+	for i, prov := range candidates {
+		var data []byte
+		var cost netsim.Cost
+		var err error
+		if p.cfg.Swarming && len(candidates) > 1 {
+			// Stripe chunk downloads across all remaining providers in
+			// parallel (BitTorrent/Bitswap-style swarming) — the paper's
+			// "higher throughput" mechanism for hot content.
+			others := make([]netsim.NodeID, 0, len(candidates)-i)
+			for _, c := range candidates[i:] {
+				others = append(others, c.addr)
+			}
+			data, cost, err = p.fetchSwarming(others, root)
+		} else {
+			data, cost, err = p.fetchFrom(prov.addr, root)
+		}
+		total = total.Seq(cost)
+		if err == nil {
+			if p.cfg.ServeCache {
+				_, cost, _ := p.dht.Provide(root.Key())
+				total = total.Seq(cost)
+			}
+			return data, total, nil
+		}
+		if errors.Is(err, ErrAllTampered) {
+			sawTamper = true
+		}
+	}
+	if sawTamper {
+		return nil, total, ErrAllTampered
+	}
+	return nil, total, fmt.Errorf("%w: %s unreachable", ErrNoProviders, root.Short())
+}
+
+// fetchSwarming downloads the root from the nearest provider, then
+// stripes the child chunks round-robin across every provider; chunk
+// costs combine in parallel (the wall-clock win). A chunk that fails or
+// verifies badly falls back to the other providers sequentially.
+func (p *Peer) fetchSwarming(providers []netsim.NodeID, root CID) ([]byte, netsim.Cost, error) {
+	var total netsim.Cost
+	rootBlock, cost, err := p.fetchBlock(providers[0], root)
+	total = total.Seq(cost)
+	if err != nil {
+		return nil, total, err
+	}
+	leaf, children, _, err := DecodeBlock(rootBlock)
+	if err != nil {
+		return nil, total, err
+	}
+	if children == nil {
+		p.blocks.PutCached(root, rootBlock)
+		return leaf, total, nil
+	}
+
+	chunks := make([][]byte, len(children))
+	blocks := make([][]byte, len(children))
+	var stripeCost netsim.Cost
+	for i, c := range children {
+		if local, ok := p.blocks.Get(c); ok {
+			l, _, _, err := DecodeBlock(local)
+			if err != nil || l == nil {
+				return nil, total, errCorruptManifest
+			}
+			chunks[i] = l
+			continue
+		}
+		var chunkCost netsim.Cost
+		var got []byte
+		fetched := false
+		for attempt := 0; attempt < len(providers); attempt++ {
+			prov := providers[(i+attempt)%len(providers)]
+			cb, cost, err := p.fetchBlock(prov, c)
+			chunkCost = chunkCost.Seq(cost)
+			if err != nil {
+				continue
+			}
+			l, _, _, derr := DecodeBlock(cb)
+			if derr != nil || l == nil {
+				return nil, total.Seq(chunkCost), errCorruptManifest
+			}
+			got = l
+			blocks[i] = cb
+			fetched = true
+			break
+		}
+		if !fetched {
+			return nil, total.Seq(stripeCost).Seq(chunkCost), fmt.Errorf(
+				"%w: chunk %s of %s", ErrNoProviders, c.Short(), root.Short())
+		}
+		chunks[i] = got
+		// Different stripes run on different providers concurrently.
+		stripeCost = stripeCost.Par(chunkCost)
+	}
+	total = total.Seq(stripeCost)
+
+	var out []byte
+	for _, ch := range chunks {
+		out = append(out, ch...)
+	}
+	p.blocks.PutCached(root, rootBlock)
+	for i, cb := range blocks {
+		if cb != nil {
+			p.blocks.PutCached(children[i], cb)
+		}
+	}
+	return out, total, nil
+}
+
+// assembleLocal rebuilds a document entirely from local blocks.
+func (p *Peer) assembleLocal(root CID) ([]byte, bool, error) {
+	block, ok := p.blocks.Get(root)
+	if !ok {
+		return nil, false, nil
+	}
+	leaf, children, _, err := DecodeBlock(block)
+	if err != nil {
+		return nil, false, nil
+	}
+	if children == nil {
+		return leaf, true, nil
+	}
+	var out []byte
+	for _, c := range children {
+		cb, ok := p.blocks.Get(c)
+		if !ok {
+			return nil, false, nil
+		}
+		l, _, _, err := DecodeBlock(cb)
+		if err != nil || l == nil {
+			return nil, false, nil
+		}
+		out = append(out, l...)
+	}
+	return out, true, nil
+}
+
+// fetchFrom pulls the root and all children from one provider, verifying
+// every block hash.
+func (p *Peer) fetchFrom(provider netsim.NodeID, root CID) ([]byte, netsim.Cost, error) {
+	var total netsim.Cost
+
+	rootBlock, cost, err := p.fetchBlock(provider, root)
+	total = total.Seq(cost)
+	if err != nil {
+		return nil, total, err
+	}
+	leaf, children, _, err := DecodeBlock(rootBlock)
+	if err != nil {
+		return nil, total, err
+	}
+	if children == nil {
+		p.blocks.PutCached(root, rootBlock)
+		return leaf, total, nil
+	}
+
+	out := make([]byte, 0)
+	fetched := [][2][]byte{} // cid bytes + block, cached only on full success
+	for _, c := range children {
+		if local, ok := p.blocks.Get(c); ok {
+			l, _, _, err := DecodeBlock(local)
+			if err != nil || l == nil {
+				return nil, total, errCorruptManifest
+			}
+			out = append(out, l...)
+			continue
+		}
+		cb, cost, err := p.fetchBlock(provider, c)
+		total = total.Seq(cost)
+		if err != nil {
+			return nil, total, err
+		}
+		l, _, _, err := DecodeBlock(cb)
+		if err != nil || l == nil {
+			return nil, total, errCorruptManifest
+		}
+		out = append(out, l...)
+		fetched = append(fetched, [2][]byte{c[:], cb})
+	}
+	p.blocks.PutCached(root, rootBlock)
+	for _, f := range fetched {
+		var cid CID
+		copy(cid[:], f[0])
+		p.blocks.PutCached(cid, f[1])
+	}
+	return out, total, nil
+}
+
+// fetchBlock retrieves and verifies one block from one provider.
+func (p *Peer) fetchBlock(provider netsim.NodeID, cid CID) ([]byte, netsim.Cost, error) {
+	resp, cost, err := p.net.Call(p.Addr(), provider, blockReq{CID: cid})
+	if err != nil {
+		return nil, cost, err
+	}
+	r := resp.(blockResp)
+	if !r.Found {
+		return nil, cost, fmt.Errorf("store: provider %s lacks block %s", provider, cid.Short())
+	}
+	if !cid.Verify(r.Data) {
+		// The cryptographic-hash identity caught a modified block.
+		p.tamperDetected.Add(1)
+		return nil, cost, fmt.Errorf("%w: block %s from %s", ErrAllTampered, cid.Short(), provider)
+	}
+	return r.Data, cost, nil
+}

@@ -1,0 +1,68 @@
+package queenbee
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// Option configures an Engine at construction.
+type Option func(*core.Config)
+
+// WithSeed sets the deterministic simulation seed.
+func WithSeed(seed uint64) Option {
+	return func(c *core.Config) { c.Seed = seed }
+}
+
+// WithPeers sets the number of plain DWeb devices in the swarm.
+func WithPeers(n int) Option {
+	return func(c *core.Config) { c.NumPeers = n }
+}
+
+// WithBees sets the number of worker bees.
+func WithBees(n int) Option {
+	return func(c *core.Config) { c.NumBees = n }
+}
+
+// WithShards sets the term-shard count of the distributed index.
+func WithShards(n int) Option {
+	return func(c *core.Config) { c.NumShards = n }
+}
+
+// WithQuorum sets how many bees verify each index/rank task.
+func WithQuorum(q int) Option {
+	return func(c *core.Config) { c.Contract.Quorum = q }
+}
+
+// WithRankWeight controls how strongly page rank blends into scores.
+func WithRankWeight(w float64) Option {
+	return func(c *core.Config) { c.RankWeight = w }
+}
+
+// WithBlockInterval sets the simulated time between sealed blocks.
+func WithBlockInterval(d time.Duration) Option {
+	return func(c *core.Config) { c.BlockInterval = d }
+}
+
+// WithReplication sets the DHT replication factor (bucket size K).
+func WithReplication(k int) Option {
+	return func(c *core.Config) { c.DHT.K = k }
+}
+
+// WithPopularityThreshold sets the page-rank threshold above which
+// content providers earn popularity honey.
+func WithPopularityThreshold(t float64) Option {
+	return func(c *core.Config) { c.Contract.PopularityThreshold = t }
+}
+
+// WithSwarming stripes large-content downloads across all providers in
+// parallel (BitTorrent-style), instead of pulling from one peer.
+func WithSwarming(on bool) Option {
+	return func(c *core.Config) { c.Peer.Swarming = on }
+}
+
+// WithStakeWeightedQuorum assigns task quorum seats with probability
+// proportional to worker stake (Sybil-resistant seating).
+func WithStakeWeightedQuorum(on bool) Option {
+	return func(c *core.Config) { c.Contract.StakeWeightedQuorum = on }
+}

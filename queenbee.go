@@ -1,0 +1,241 @@
+package queenbee
+
+import (
+	"fmt"
+
+	"repro/internal/chain"
+	"repro/internal/contracts"
+	"repro/internal/core"
+)
+
+// Engine is a running QueenBee deployment (simulated swarm + chain +
+// contract + frontend). Create with New; drive with Publish / Run /
+// Search. Engine methods are not safe for concurrent use: the simulation
+// is a single deterministic driver.
+type Engine struct {
+	// Cluster exposes the full simulation for advanced use (experiment
+	// harnesses, fault injection). Most callers never need it.
+	Cluster  *core.Cluster
+	frontend *core.Frontend
+}
+
+// Account is a funded identity that can publish, advertise and click.
+type Account struct {
+	name string
+	acct *chain.Account
+}
+
+// Name returns the account's human-readable name.
+func (a *Account) Name() string { return a.name }
+
+// Address returns the account's chain address in hex.
+func (a *Account) Address() string { return a.acct.Address().String() }
+
+// Result is one ranked search hit.
+type Result struct {
+	URL     string
+	Score   float64
+	Rank    float64
+	Snippet string // set by SearchSnippets
+}
+
+// Ad is an advertisement attached to a search response.
+type Ad struct {
+	ID          uint64
+	Keywords    []string
+	BidPerClick uint64
+}
+
+// New boots a QueenBee deployment with the given options.
+func New(opts ...Option) *Engine {
+	cfg := core.DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cluster := core.NewCluster(cfg)
+	return &Engine{
+		Cluster:  cluster,
+		frontend: core.NewFrontend(cluster, cluster.Peers[0]),
+	}
+}
+
+// NewAccount creates and funds an identity. Funds are spendable after
+// the next Run (or immediately: NewAccount seals a block).
+func (e *Engine) NewAccount(name string, honey uint64) *Account {
+	acct := e.Cluster.NewAccount(name, honey)
+	e.Cluster.Seal()
+	return &Account{name: name, acct: acct}
+}
+
+// Balance returns an account's honey balance.
+func (e *Engine) Balance(a *Account) uint64 {
+	return e.Cluster.Chain.State().Balance(a.acct.Address())
+}
+
+// Publish stores content on the DWeb, registers it through the smart
+// contract, and drives one protocol round so the worker bees commit to
+// the index task while its commit window is open.
+func (e *Engine) Publish(owner *Account, url, text string, links []string) error {
+	_, err := e.Cluster.Publish(owner.acct, e.Cluster.RandomPeer(), url, text, links)
+	if err != nil {
+		return err
+	}
+	e.Cluster.Seal()
+	e.Cluster.ProcessRound()
+	return nil
+}
+
+// Run drives n protocol rounds (bees commit, reveal, materialize).
+func (e *Engine) Run(n int) {
+	for i := 0; i < n; i++ {
+		e.Cluster.ProcessRound()
+	}
+}
+
+// RunUntilIdle drives rounds until no open tasks remain.
+func (e *Engine) RunUntilIdle() {
+	e.Cluster.RunUntilIdle(50)
+}
+
+// Search answers a conjunctive (AND) keyword query with ranked results
+// and relevant ads.
+func (e *Engine) Search(query string, k int) ([]Result, []Ad, error) {
+	return e.search(query, core.SearchOptions{Mode: core.ModeAND, K: k})
+}
+
+// SearchAny returns documents matching any query term (OR semantics).
+func (e *Engine) SearchAny(query string, k int) ([]Result, []Ad, error) {
+	return e.search(query, core.SearchOptions{Mode: core.ModeOR, K: k})
+}
+
+// SearchPhrase returns documents containing the query terms as an exact
+// adjacent phrase (positional postings).
+func (e *Engine) SearchPhrase(query string, k int) ([]Result, []Ad, error) {
+	return e.search(query, core.SearchOptions{Mode: core.ModePhrase, K: k})
+}
+
+// SearchSnippets is Search with a text snippet extracted around the
+// first match of each result (costs extra content fetches).
+func (e *Engine) SearchSnippets(query string, k int) ([]Result, []Ad, error) {
+	return e.search(query, core.SearchOptions{Mode: core.ModeAND, K: k, Snippets: true})
+}
+
+func (e *Engine) search(query string, opts core.SearchOptions) ([]Result, []Ad, error) {
+	resp, err := e.frontend.SearchWith(query, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	results := make([]Result, 0, len(resp.Results))
+	for _, r := range resp.Results {
+		results = append(results, Result{URL: r.URL, Score: r.Score, Rank: r.Rank, Snippet: r.Snippet})
+	}
+	ads := make([]Ad, 0, len(resp.Ads))
+	for _, a := range resp.Ads {
+		ads = append(ads, Ad{ID: a.ID, Keywords: a.Keywords, BidPerClick: a.BidPerClick})
+	}
+	return results, ads, nil
+}
+
+// Fetch downloads and hash-verifies the content behind a search result.
+func (e *Engine) Fetch(r Result) (string, error) {
+	rec, ok := e.Cluster.QB.Page(r.URL)
+	if !ok {
+		return "", fmt.Errorf("queenbee: %q is not a registered page", r.URL)
+	}
+	data, _, err := e.frontend.FetchResult(core.Result{URL: r.URL, CID: rec.CID})
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// ComputeRanks runs one distributed page-rank epoch across the worker
+// bees (partitioned into `partitions` verified tasks) and returns the
+// epoch number once finalized.
+func (e *Engine) ComputeRanks(partitions int) uint64 {
+	epoch := e.Cluster.StartRankEpoch(partitions)
+	e.RunUntilIdle()
+	return epoch
+}
+
+// PageRank returns a page's finalized rank (0 if unranked).
+func (e *Engine) PageRank(url string) float64 {
+	return e.Cluster.QB.PageRank(url)
+}
+
+// PayPopularityRewards mints threshold honey to providers of popular
+// pages for a finalized epoch. It returns an error if nothing was owed.
+func (e *Engine) PayPopularityRewards(epoch uint64) error {
+	tx := e.Cluster.PayPopularity(epoch)
+	r := e.Cluster.Chain.Receipt(tx.Hash())
+	if r == nil || !r.OK {
+		return fmt.Errorf("queenbee: popularity payout: %s", receiptErr(r))
+	}
+	return nil
+}
+
+// RegisterAd escrows a budget and opens a pay-per-click campaign.
+func (e *Engine) RegisterAd(advertiser *Account, keywords []string, bidPerClick, budget uint64) (uint64, error) {
+	tx := e.Cluster.SubmitCall(advertiser.acct, contracts.MethodRegisterAd,
+		contracts.RegisterAdParams{Keywords: keywords, BidPerClick: bidPerClick}, budget)
+	e.Cluster.Seal()
+	r := e.Cluster.Chain.Receipt(tx.Hash())
+	if r == nil || !r.OK {
+		return 0, fmt.Errorf("queenbee: register ad: %s", receiptErr(r))
+	}
+	// Ads are issued sequential IDs; find the newest matching campaign.
+	ads := e.Cluster.QB.AdsForTerms(keywords)
+	var id uint64
+	for _, ad := range ads {
+		if ad.ID > id {
+			id = ad.ID
+		}
+	}
+	return id, nil
+}
+
+// Click records a paid click on an ad displayed on a result page. The
+// bid moves from the advertiser's budget to the page's creator and the
+// worker pool.
+func (e *Engine) Click(user *Account, adID uint64, url string) error {
+	tx := e.Cluster.SubmitCall(user.acct, contracts.MethodClick,
+		contracts.ClickParams{AdID: adID, URL: url}, 0)
+	e.Cluster.Seal()
+	r := e.Cluster.Chain.Receipt(tx.Hash())
+	if r == nil || !r.OK {
+		return fmt.Errorf("queenbee: click: %s", receiptErr(r))
+	}
+	return nil
+}
+
+// Summary reports deployment-level counters.
+type Summary struct {
+	Pages          int
+	Height         uint64
+	HoneySupply    uint64
+	TasksOpen      int
+	TasksFinalized int
+	TasksFailed    int
+	Workers        int
+}
+
+// Stats returns the current deployment summary.
+func (e *Engine) Stats() Summary {
+	open, finalized, failed := e.Cluster.QB.TaskCounts()
+	return Summary{
+		Pages:          e.Cluster.QB.PageCount(),
+		Height:         e.Cluster.Chain.Height(),
+		HoneySupply:    e.Cluster.Chain.State().Supply(),
+		TasksOpen:      open,
+		TasksFinalized: finalized,
+		TasksFailed:    failed,
+		Workers:        len(e.Cluster.QB.ActiveWorkers()),
+	}
+}
+
+func receiptErr(r *chain.Receipt) string {
+	if r == nil {
+		return "no receipt"
+	}
+	return r.Err
+}
