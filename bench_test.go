@@ -129,6 +129,76 @@ func BenchmarkSegmentMerge(b *testing.B) {
 	}
 }
 
+// lookupBenchSegment builds a 5k-term segment for the lookup benchmarks.
+func lookupBenchSegment() *index.Segment {
+	seg := index.NewSegment(1)
+	for i := 0; i < 5000; i++ {
+		term := fmt.Sprintf("term%05d", i)
+		doc := index.DocID(i + 1)
+		seg.Terms[term] = index.PostingList{{Doc: doc, TF: 2, Positions: []uint32{uint32(i), uint32(i + 7)}}}
+		seg.DocLens[doc] = 40
+	}
+	return seg
+}
+
+// BenchmarkSegmentLookupCold measures a one-term query against a freshly
+// decoded 5k-term segment: decode + single lookup. The v2 lazy format
+// only parses the header and block index and decodes the one requested
+// posting list, instead of materializing all 5k lists.
+func BenchmarkSegmentLookupCold(b *testing.B) {
+	enc := lookupBenchSegment().Encode()
+	b.SetBytes(int64(len(enc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seg, err := index.DecodeSegment(enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pl := seg.Postings("term02500"); len(pl) != 1 {
+			b.Fatalf("postings = %+v", pl)
+		}
+	}
+}
+
+// BenchmarkSegmentLookupWarm measures the memoized repeat lookup on an
+// already-decoded segment.
+func BenchmarkSegmentLookupWarm(b *testing.B) {
+	seg, err := index.DecodeSegment(lookupBenchSegment().Encode())
+	if err != nil {
+		b.Fatal(err)
+	}
+	seg.Postings("term02500")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pl := seg.Postings("term02500"); len(pl) != 1 {
+			b.Fatalf("postings = %+v", pl)
+		}
+	}
+}
+
+// BenchmarkTopK covers both selection paths: k much smaller than the
+// candidate set (bounded min-heap) and k covering the whole set (full
+// sort).
+func BenchmarkTopK(b *testing.B) {
+	rng := xrand.New(3)
+	docs := make([]index.ScoredDoc, 10_000)
+	for i := range docs {
+		docs[i] = index.ScoredDoc{Doc: index.DocID(i), Score: rng.Float64()}
+	}
+	for _, k := range []int{10, len(docs)} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if got := index.TopK(docs, k); len(got) != k {
+					b.Fatalf("len = %d", len(got))
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkIntersect is ablation A1 in isolation: merge vs gallop at a
 // fixed 100:100k skew.
 func BenchmarkIntersect(b *testing.B) {

@@ -20,4 +20,19 @@
 //
 // Everything runs on one machine against a deterministic virtual clock:
 // no real network, no real time, fully reproducible per seed.
+//
+// # Query hot path
+//
+// The read side is built to stay allocation-light under heavy query
+// traffic. Index segments are serialized in a block-structured v2 format
+// (docs/segment-format.md): a sorted term dictionary with per-term byte
+// offsets over a delta-varint postings region, so a query decodes only
+// the posting lists of the terms it touches, memoized per immutable
+// segment. Frontends layer two caches over the DHT — immutable segments
+// by content digest and each shard's merged chain keyed by its digest
+// chain — and fetch the distinct shards of a multi-term query as one
+// parallel wave (costed as the slowest shard, not the sum, while staying
+// deterministic per seed). Ranking selects the top k results with a bounded
+// min-heap instead of sorting every candidate. Segment encoding remains
+// byte-deterministic, which commit–reveal task verification depends on.
 package queenbee

@@ -198,7 +198,7 @@ func (b *WorkerBee) materializeIndexResult(task contracts.Task, data []byte) {
 		return
 	}
 	shards := make(map[int]bool)
-	for term := range seg.Terms {
+	for _, term := range seg.TermsSorted() {
 		shards[index.ShardOf(term, b.cluster.cfg.NumShards)] = true
 	}
 	shardList := make([]int, 0, len(shards))

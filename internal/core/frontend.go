@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/dht"
@@ -19,10 +20,11 @@ type Frontend struct {
 	cluster *Cluster
 	peer    *store.Peer
 
-	mu        sync.Mutex
-	segCache  map[string]*index.Segment // digest → segment (immutable)
-	docURL    map[index.DocID]string
-	docURLGen int // page count when docURL was built
+	mu         sync.Mutex
+	segCache   map[string]*index.Segment // digest → segment (immutable)
+	chainCache map[int]chainEntry        // shard → merged view of its segment chain
+	docURL     map[index.DocID]string
+	docURLGen  int // page count when docURL was built
 
 	stats    IndexStats
 	statsGen int // page count when stats were fetched
@@ -37,9 +39,19 @@ func NewFrontend(c *Cluster, peer *store.Peer) *Frontend {
 		cluster:               c,
 		peer:                  peer,
 		segCache:              make(map[string]*index.Segment),
+		chainCache:            make(map[int]chainEntry),
 		docURL:                make(map[index.DocID]string),
 		UseGallopIntersection: true,
 	}
+}
+
+// chainEntry caches the merged view of one shard's segment chain, keyed by
+// the exact digest chain it was built from. The entry stays valid until
+// the shard pointer lists a different chain (a new head digest), so warm
+// queries skip both the segment fetches and the re-merge.
+type chainEntry struct {
+	key string // "," joined segment digests, oldest first
+	seg *index.Segment
 }
 
 // Result is one ranked search hit.
@@ -146,8 +158,12 @@ func (f *Frontend) scoreAndCompose(resp *SearchResponse, terms []string,
 	}
 }
 
-// loadShard fetches a shard's segment chain and merges it, using the
-// immutable per-digest cache.
+// loadShard fetches a shard's segment chain and returns its merged view.
+// Two cache layers keep warm queries cheap: segments are immutable and
+// cached per digest, and the merged chain is cached per shard keyed by the
+// digest chain — the pointer read is the only per-query DHT traffic until
+// the chain changes. Single-segment chains (the common case after
+// compaction) skip merging entirely, so their postings stay lazy.
 func (f *Frontend) loadShard(shard int) (*index.Segment, netsim.Cost, error) {
 	ptr, cost, err := readShardPointer(f.peer.DHT(), shard)
 	if err == dht.ErrNotFound {
@@ -156,6 +172,13 @@ func (f *Frontend) loadShard(shard int) (*index.Segment, netsim.Cost, error) {
 	if err != nil {
 		return nil, cost, err
 	}
+	key := strings.Join(ptr.Digests, ",")
+	f.mu.Lock()
+	if ce, ok := f.chainCache[shard]; ok && ce.key == key {
+		f.mu.Unlock()
+		return ce.seg, cost, nil
+	}
+	f.mu.Unlock()
 	segs := make([]*index.Segment, 0, len(ptr.Digests))
 	for _, digest := range ptr.Digests {
 		f.mu.Lock()
@@ -174,7 +197,40 @@ func (f *Frontend) loadShard(shard int) (*index.Segment, netsim.Cost, error) {
 		}
 		segs = append(segs, seg)
 	}
-	return index.Merge(segs), cost, nil
+	merged := index.Merge(segs)
+	f.mu.Lock()
+	f.chainCache[shard] = chainEntry{key: key, seg: merged}
+	f.mu.Unlock()
+	return merged, cost, nil
+}
+
+// loadShards resolves a query's distinct shards as one concurrent fetch
+// wave: a real frontend issues the independent DHT lookups at once, so
+// the modeled cost is the Par combination — the slowest shard, not the
+// sum. Execution itself stays sequential (in shard order) because the
+// network simulation draws jitter and drop decisions from one seeded
+// RNG; racing goroutines would reorder those draws and break the per-seed
+// reproducibility the whole harness promises. Returns the first error
+// encountered, if any.
+func (f *Frontend) loadShards(shards []int) (map[int]*index.Segment, netsim.Cost, error) {
+	out := make(map[int]*index.Segment, len(shards))
+	var cost netsim.Cost
+	var firstErr error
+	for _, shard := range shards {
+		seg, c, err := f.loadShard(shard)
+		cost = cost.Par(c)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		out[shard] = seg
+	}
+	if firstErr != nil {
+		return nil, cost, firstErr
+	}
+	return out, cost, nil
 }
 
 // cachedStats returns the collection statistics, re-reading from the DHT

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"repro/internal/index"
-	"repro/internal/netsim"
 )
 
 // QueryMode selects the boolean semantics of a search.
@@ -58,22 +57,28 @@ func (f *Frontend) SearchWith(query string, opts SearchOptions) (SearchResponse,
 		return resp, fmt.Errorf("core: query %q has no searchable terms", query)
 	}
 
-	merged := make(map[string]index.PostingList, len(terms))
-	segsByShard := make(map[int]*index.Segment)
+	// Resolve the distinct shards the query touches, load them all
+	// concurrently, then pull just the queried terms' posting lists (v2
+	// segments decode only those lists).
+	shardOf := make(map[string]int, len(terms))
+	shards := make([]int, 0, len(terms))
+	seen := make(map[int]bool, len(terms))
 	for _, term := range terms {
 		shard := index.ShardOf(term, f.cluster.cfg.NumShards)
-		seg, ok := segsByShard[shard]
-		if !ok {
-			var err error
-			var cost netsim.Cost
-			seg, cost, err = f.loadShard(shard)
-			resp.Cost = resp.Cost.Seq(cost)
-			if err != nil {
-				return resp, err
-			}
-			segsByShard[shard] = seg
+		shardOf[term] = shard
+		if !seen[shard] {
+			seen[shard] = true
+			shards = append(shards, shard)
 		}
-		merged[term] = seg.Postings(term)
+	}
+	segsByShard, cost, err := f.loadShards(shards)
+	resp.Cost = resp.Cost.Seq(cost)
+	if err != nil {
+		return resp, err
+	}
+	merged := make(map[string]index.PostingList, len(terms))
+	for _, term := range terms {
+		merged[term] = segsByShard[shardOf[term]].Postings(term)
 	}
 
 	var docs []index.DocID

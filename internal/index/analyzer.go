@@ -12,6 +12,7 @@ package index
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Token is one analyzed term occurrence.
@@ -40,20 +41,27 @@ func IsStopword(term string) bool { return stopwords[term] }
 // Analyze splits text into stemmed, stop-filtered tokens with positions.
 // Positions count every non-stopword token, so phrase offsets survive
 // analysis.
+//
+// The hot loop is allocation-conscious: the token slice is pre-sized from
+// a bytes-per-token heuristic, the in-progress word lives in a reusable
+// stack scratch buffer (one string allocation per *kept* token only), and
+// stopwords are rejected via a non-allocating map probe on the scratch
+// bytes before any string is made.
 func Analyze(text string) []Token {
-	var tokens []Token
-	var b strings.Builder
+	tokens := make([]Token, 0, len(text)/5+4)
+	var scratch [64]byte
+	buf := scratch[:0]
 	pos := uint32(0)
 	flush := func() {
-		if b.Len() == 0 {
+		if len(buf) == 0 {
 			return
 		}
-		term := b.String()
-		b.Reset()
-		if stopwords[term] {
+		if stopwords[string(buf)] { // compiler elides this conversion
+			buf = buf[:0]
 			return
 		}
-		term = Stem(term)
+		term := Stem(string(buf))
+		buf = buf[:0]
 		if term == "" {
 			return
 		}
@@ -63,7 +71,7 @@ func Analyze(text string) []Token {
 	for _, r := range text {
 		switch {
 		case unicode.IsLetter(r) || unicode.IsDigit(r):
-			b.WriteRune(unicode.ToLower(r))
+			buf = utf8.AppendRune(buf, unicode.ToLower(r))
 		default:
 			flush()
 		}

@@ -71,20 +71,76 @@ type ScoredDoc struct {
 }
 
 // TopK returns the k highest-scoring docs, score descending with DocID
-// ascending as the tiebreaker (so rankings are deterministic).
+// ascending as the tiebreaker (so rankings are deterministic). When k is
+// smaller than the candidate set it selects via a bounded min-heap —
+// O(n log k) and k-sized scratch — instead of copying and fully sorting
+// all candidates; both paths produce identical output (outranks is a
+// strict total order over distinct docs).
 func TopK(docs []ScoredDoc, k int) []ScoredDoc {
 	if k <= 0 || len(docs) == 0 {
 		return nil
 	}
-	sorted := append([]ScoredDoc(nil), docs...)
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].Score != sorted[j].Score {
-			return sorted[i].Score > sorted[j].Score
-		}
-		return sorted[i].Doc < sorted[j].Doc
-	})
-	if k > len(sorted) {
-		k = len(sorted)
+	if k >= len(docs) {
+		sorted := append([]ScoredDoc(nil), docs...)
+		sortScored(sorted)
+		return sorted
 	}
-	return sorted[:k]
+	// Min-heap of the best k seen so far; the root is the current worst
+	// and is evicted whenever a better candidate arrives.
+	h := make([]ScoredDoc, 0, k)
+	for _, d := range docs {
+		if len(h) < k {
+			h = append(h, d)
+			siftUp(h, len(h)-1)
+		} else if outranks(d, h[0]) {
+			h[0] = d
+			siftDown(h, 0)
+		}
+	}
+	sortScored(h)
+	return h
+}
+
+// outranks reports whether a places strictly ahead of b in the ranking.
+func outranks(a, b ScoredDoc) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Doc < b.Doc
+}
+
+// sortScored orders docs into final ranking order (best first).
+func sortScored(docs []ScoredDoc) {
+	sort.Slice(docs, func(i, j int) bool { return outranks(docs[i], docs[j]) })
+}
+
+// siftUp restores the worst-at-root heap property after appending at i.
+func siftUp(h []ScoredDoc, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !outranks(h[p], h[i]) {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+// siftDown restores the worst-at-root heap property after replacing the
+// root.
+func siftDown(h []ScoredDoc, i int) {
+	for {
+		w := 2*i + 1 // worst child
+		if w >= len(h) {
+			return
+		}
+		if r := w + 1; r < len(h) && outranks(h[w], h[r]) {
+			w = r
+		}
+		if !outranks(h[i], h[w]) {
+			return
+		}
+		h[i], h[w] = h[w], h[i]
+		i = w
+	}
 }

@@ -1,10 +1,12 @@
 package index
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Segment is an immutable inverted-index fragment: the postings produced
@@ -15,10 +17,25 @@ import (
 // segment's DocLens set doubles as its tombstone set (any doc re-indexed
 // here shadows its older postings everywhere, even for terms the new
 // version no longer contains).
+//
+// Segments exist in two physical states behind one API:
+//
+//   - built: Terms holds every posting list in memory (Builder, Merge, and
+//     v1 decoding produce these);
+//   - lazy: the segment was decoded from the v2 block-structured format
+//     and holds only the raw bytes plus a block index; Postings decodes a
+//     single term's list on first use and memoizes it.
+//
+// Both states are safe for concurrent readers. A segment must not be
+// mutated after it is shared (the memoized views assume immutability).
 type Segment struct {
 	Gen     uint64
-	Terms   map[string]PostingList
-	DocLens map[DocID]uint32 // analyzed token count per covered document
+	Terms   map[string]PostingList // materialized postings; nil for lazy v2 segments
+	DocLens map[DocID]uint32       // analyzed token count per covered document
+
+	mu     sync.RWMutex
+	sorted []string     // memoized TermsSorted result
+	lazy   *lazySegment // non-nil iff decoded from the v2 format
 }
 
 // NewSegment returns an empty segment with the given generation.
@@ -80,18 +97,107 @@ func (b *Builder) Build() *Segment {
 	return seg
 }
 
-// TermsSorted returns the segment's terms in lexicographic order.
+// TermsSorted returns the segment's terms in lexicographic order. The
+// slice is computed once and memoized (segments are immutable); callers
+// must not modify it.
 func (s *Segment) TermsSorted() []string {
-	out := make([]string, 0, len(s.Terms))
-	for t := range s.Terms {
-		out = append(out, t)
+	s.mu.RLock()
+	sorted := s.sorted
+	s.mu.RUnlock()
+	if sorted != nil {
+		return sorted
 	}
-	sort.Strings(out)
+	var out []string
+	if s.lazy != nil {
+		out = make([]string, 0, s.lazy.nterms)
+		dict := s.lazy.dict
+		for len(dict) > 0 {
+			term, _, rest, err := nextDictEntry(dict)
+			if err != nil {
+				break // dict region is validated at decode; defensive only
+			}
+			out = append(out, string(term))
+			dict = rest
+		}
+	} else {
+		out = make([]string, 0, len(s.Terms))
+		for t := range s.Terms {
+			out = append(out, t)
+		}
+		sort.Strings(out)
+	}
+	s.mu.Lock()
+	s.sorted = out
+	s.mu.Unlock()
 	return out
 }
 
-// Postings returns the posting list for a term (nil if absent).
-func (s *Segment) Postings(term string) PostingList { return s.Terms[term] }
+// NumTerms returns the number of distinct terms in the segment without
+// decoding any postings.
+func (s *Segment) NumTerms() int {
+	if s.lazy != nil {
+		return s.lazy.nterms
+	}
+	return len(s.Terms)
+}
+
+// Postings returns the posting list for a term (nil if absent). On a lazy
+// v2 segment only the requested term's list is decoded; the result is
+// memoized so repeated lookups are map-hit cheap. Decode errors are
+// unreachable for segments produced by DecodeSegment (which structurally
+// validates both regions up front); defensively they surface as an absent
+// term here and as an error from Validate.
+func (s *Segment) Postings(term string) PostingList {
+	if s.lazy == nil {
+		return s.Terms[term]
+	}
+	s.mu.RLock()
+	pl, ok := s.lazy.cache[term]
+	s.mu.RUnlock()
+	if ok {
+		return pl
+	}
+	pl, found, err := s.lazy.lookup(term)
+	if err != nil || !found {
+		return nil
+	}
+	s.mu.Lock()
+	if s.lazy.cache == nil {
+		s.lazy.cache = make(map[string]PostingList)
+	}
+	// Re-check under the write lock: postingsMap may have installed a
+	// complete cache while our lookup ran, and maps it has handed out are
+	// iterated without the lock — they must never be written again. A
+	// complete cache always already holds this term, so skipping the
+	// duplicate write preserves that invariant.
+	if cached, ok := s.lazy.cache[term]; ok {
+		s.mu.Unlock()
+		return cached
+	}
+	s.lazy.cache[term] = pl
+	s.mu.Unlock()
+	return pl
+}
+
+// postingsMap returns the complete term → postings view, fully decoding a
+// lazy segment (Merge, Validate, and compaction need every list). The
+// decoded map is memoized as the lazy segment's cache.
+func (s *Segment) postingsMap() (map[string]PostingList, error) {
+	if s.lazy == nil {
+		return s.Terms, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.lazy.cache) == s.lazy.nterms {
+		return s.lazy.cache, nil
+	}
+	m, err := s.lazy.decodeAll()
+	if err != nil {
+		return nil, err
+	}
+	s.lazy.cache = m
+	return m, nil
+}
 
 // Covers reports whether the segment indexes (or tombstones) a document.
 func (s *Segment) Covers(doc DocID) bool {
@@ -101,17 +207,21 @@ func (s *Segment) Covers(doc DocID) bool {
 
 var errCorruptSegment = errors.New("index: corrupt segment encoding")
 
-const segmentMagic = 0x5153 // "QS"
+const (
+	segmentMagic   = 0x5153 // "QS": v1, eager layout (decode compatibility only)
+	segmentMagicV2 = 0x5154 // "QT": v2, block-structured lazy layout
 
-// Encode serializes the segment deterministically (sorted terms and doc
-// IDs), so that every honest worker bee produces byte-identical segments
-// — the property commit–reveal voting relies on.
-func (s *Segment) Encode() []byte {
-	out := binary.AppendUvarint(nil, segmentMagic)
-	out = binary.AppendUvarint(out, s.Gen)
+	// dictBlockSize is the number of terms per dictionary block in the v2
+	// layout. Lookups binary-search the block index, then scan at most one
+	// block; postings byte offsets accumulate within the block.
+	dictBlockSize = 64
+)
 
-	docs := make([]DocID, 0, len(s.DocLens))
-	for d := range s.DocLens {
+// appendDocLens emits the shared docs region: sorted doc IDs,
+// delta-encoded, each followed by its analyzed length.
+func appendDocLens(out []byte, docLens map[DocID]uint32) []byte {
+	docs := make([]DocID, 0, len(docLens))
+	for d := range docLens {
 		docs = append(docs, d)
 	}
 	sort.Slice(docs, func(i, j int) bool { return docs[i] < docs[j] })
@@ -120,35 +230,13 @@ func (s *Segment) Encode() []byte {
 	for _, d := range docs {
 		out = binary.AppendUvarint(out, uint64(d)-prev)
 		prev = uint64(d)
-		out = binary.AppendUvarint(out, uint64(s.DocLens[d]))
-	}
-
-	terms := s.TermsSorted()
-	out = binary.AppendUvarint(out, uint64(len(terms)))
-	for _, t := range terms {
-		out = binary.AppendUvarint(out, uint64(len(t)))
-		out = append(out, t...)
-		enc := s.Terms[t].Encode()
-		out = binary.AppendUvarint(out, uint64(len(enc)))
-		out = append(out, enc...)
+		out = binary.AppendUvarint(out, uint64(docLens[d]))
 	}
 	return out
 }
 
-// DecodeSegment parses an encoded segment.
-func DecodeSegment(data []byte) (*Segment, error) {
-	magic, n := binary.Uvarint(data)
-	if n <= 0 || magic != segmentMagic {
-		return nil, errCorruptSegment
-	}
-	data = data[n:]
-	gen, n := binary.Uvarint(data)
-	if n <= 0 {
-		return nil, errCorruptSegment
-	}
-	data = data[n:]
-
-	seg := NewSegment(gen)
+// decodeDocLens parses the docs region, returning the remaining bytes.
+func decodeDocLens(data []byte, into map[DocID]uint32) ([]byte, error) {
 	ndocs, n := binary.Uvarint(data)
 	if n <= 0 {
 		return nil, errCorruptSegment
@@ -168,7 +256,117 @@ func DecodeSegment(data []byte) (*Segment, error) {
 			return nil, errCorruptSegment
 		}
 		data = data[n:]
-		seg.DocLens[DocID(doc)] = uint32(dl)
+		into[DocID(doc)] = uint32(dl)
+	}
+	return data, nil
+}
+
+// Encode serializes the segment deterministically (sorted terms and doc
+// IDs) in the v2 block-structured layout, so that every honest worker bee
+// produces byte-identical segments — the property commit–reveal voting
+// relies on. A lazily decoded segment returns a copy of its original
+// bytes (decode → encode is exactly the identity). See
+// docs/segment-format.md for the byte layout.
+func (s *Segment) Encode() []byte {
+	s.mu.RLock()
+	if s.lazy != nil {
+		raw := s.lazy.raw
+		s.mu.RUnlock()
+		return append([]byte(nil), raw...)
+	}
+	s.mu.RUnlock()
+
+	out := binary.AppendUvarint(nil, segmentMagicV2)
+	out = binary.AppendUvarint(out, s.Gen)
+	out = appendDocLens(out, s.DocLens)
+
+	terms := s.TermsSorted()
+	out = binary.AppendUvarint(out, uint64(len(terms)))
+	if len(terms) == 0 {
+		return out
+	}
+
+	var dict, posts []byte
+	type blockMeta struct {
+		firstTerm string
+		dictOff   int
+		postOff   int
+	}
+	blocks := make([]blockMeta, 0, (len(terms)+dictBlockSize-1)/dictBlockSize)
+	for i, t := range terms {
+		if i%dictBlockSize == 0 {
+			blocks = append(blocks, blockMeta{t, len(dict), len(posts)})
+		}
+		enc := s.Terms[t].Encode()
+		dict = binary.AppendUvarint(dict, uint64(len(t)))
+		dict = append(dict, t...)
+		dict = binary.AppendUvarint(dict, uint64(len(enc)))
+		posts = append(posts, enc...)
+	}
+	out = binary.AppendUvarint(out, uint64(len(blocks)))
+	for _, b := range blocks {
+		out = binary.AppendUvarint(out, uint64(len(b.firstTerm)))
+		out = append(out, b.firstTerm...)
+		out = binary.AppendUvarint(out, uint64(b.dictOff))
+		out = binary.AppendUvarint(out, uint64(b.postOff))
+	}
+	out = binary.AppendUvarint(out, uint64(len(dict)))
+	out = append(out, dict...)
+	out = binary.AppendUvarint(out, uint64(len(posts)))
+	out = append(out, posts...)
+	return out
+}
+
+// EncodeV1 serializes the segment in the legacy eager layout. Kept so
+// tests can prove v1 bytes still decode to the same logical segment; new
+// writers always emit v2.
+func (s *Segment) EncodeV1() []byte {
+	out := binary.AppendUvarint(nil, segmentMagic)
+	out = binary.AppendUvarint(out, s.Gen)
+	out = appendDocLens(out, s.DocLens)
+
+	terms := s.TermsSorted()
+	out = binary.AppendUvarint(out, uint64(len(terms)))
+	for _, t := range terms {
+		out = binary.AppendUvarint(out, uint64(len(t)))
+		out = append(out, t...)
+		enc := s.Postings(t).Encode()
+		out = binary.AppendUvarint(out, uint64(len(enc)))
+		out = append(out, enc...)
+	}
+	return out
+}
+
+// DecodeSegment parses an encoded segment. v2 bytes (the current format)
+// produce a lazy segment whose posting lists decode on demand; v1 bytes
+// are still accepted and decode eagerly.
+func DecodeSegment(data []byte) (*Segment, error) {
+	magic, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, errCorruptSegment
+	}
+	switch magic {
+	case segmentMagic:
+		return decodeSegmentV1(data[n:])
+	case segmentMagicV2:
+		return decodeSegmentV2(data, data[n:])
+	default:
+		return nil, errCorruptSegment
+	}
+}
+
+// decodeSegmentV1 parses the legacy eager layout (magic already consumed).
+func decodeSegmentV1(data []byte) (*Segment, error) {
+	gen, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, errCorruptSegment
+	}
+	data = data[n:]
+
+	seg := NewSegment(gen)
+	data, err := decodeDocLens(data, seg.DocLens)
+	if err != nil {
+		return nil, err
 	}
 
 	nterms, n := binary.Uvarint(data)
@@ -205,10 +403,347 @@ func DecodeSegment(data []byte) (*Segment, error) {
 	return seg, nil
 }
 
-// Validate checks internal consistency: sorted postings and every posting
-// doc covered by DocLens.
+// lazySegment is the in-memory view of a v2-encoded segment: raw bytes, a
+// parsed block index, and sub-slices for the dictionary and postings
+// regions. Individual posting lists are decoded on demand.
+type lazySegment struct {
+	raw    []byte // the full original encoding (Encode returns a copy)
+	blocks []lazyBlock
+	dict   []byte // dictionary region: (termLen, term, postingsLen)*
+	posts  []byte // postings region: concatenated PostingList encodings
+	nterms int
+
+	cache map[string]PostingList // memoized decoded lists (guarded by Segment.mu)
+}
+
+type lazyBlock struct {
+	firstTerm []byte // aliases raw
+	dictOff   int    // byte offset of the block's first dict entry
+	postOff   int    // byte offset of the block's first postings blob
+}
+
+// decodeSegmentV2 parses the v2 layout. raw is the full encoding
+// (including magic); data starts after the magic.
+func decodeSegmentV2(raw, data []byte) (*Segment, error) {
+	gen, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, errCorruptSegment
+	}
+	data = data[n:]
+
+	docLens := make(map[DocID]uint32)
+	data, err := decodeDocLens(data, docLens)
+	if err != nil {
+		return nil, err
+	}
+
+	nterms, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, errCorruptSegment
+	}
+	data = data[n:]
+	if nterms == 0 {
+		if len(data) != 0 {
+			return nil, errCorruptSegment
+		}
+		seg := NewSegment(gen)
+		seg.DocLens = docLens
+		return seg, nil
+	}
+	// Counts are untrusted until the regions are walked: bound them by
+	// what the remaining bytes could possibly hold (a dict entry is ≥ 2
+	// bytes, a block-index record ≥ 3) before any count-sized allocation.
+	if nterms > uint64(len(data))/2 {
+		return nil, errCorruptSegment
+	}
+
+	nblocks, n := binary.Uvarint(data)
+	if n <= 0 || nblocks == 0 || nblocks > nterms || nblocks > uint64(len(data))/3 {
+		return nil, errCorruptSegment
+	}
+	data = data[n:]
+	blocks := make([]lazyBlock, 0, nblocks)
+	for i := uint64(0); i < nblocks; i++ {
+		tlen, n := binary.Uvarint(data)
+		if n <= 0 || uint64(len(data)-n) < tlen {
+			return nil, errCorruptSegment
+		}
+		first := data[n : n+int(tlen)]
+		data = data[n+int(tlen):]
+		dictOff, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, errCorruptSegment
+		}
+		data = data[n:]
+		postOff, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, errCorruptSegment
+		}
+		data = data[n:]
+		blocks = append(blocks, lazyBlock{firstTerm: first, dictOff: int(dictOff), postOff: int(postOff)})
+	}
+
+	dictLen, n := binary.Uvarint(data)
+	if n <= 0 || uint64(len(data)-n) < dictLen {
+		return nil, errCorruptSegment
+	}
+	dict := data[n : n+int(dictLen)]
+	data = data[n+int(dictLen):]
+	postLen, n := binary.Uvarint(data)
+	if n <= 0 || uint64(len(data)-n) < postLen {
+		return nil, errCorruptSegment
+	}
+	posts := data[n : n+int(postLen)]
+	if len(data[n+int(postLen):]) != 0 {
+		return nil, errCorruptSegment
+	}
+
+	if err := validateLazyRegions(dict, posts, int(nterms), blocks); err != nil {
+		return nil, err
+	}
+
+	return &Segment{
+		Gen:     gen,
+		DocLens: docLens,
+		lazy: &lazySegment{
+			raw:    raw,
+			blocks: blocks,
+			dict:   dict,
+			posts:  posts,
+			nterms: int(nterms),
+		},
+	}, nil
+}
+
+// nextDictEntry parses one v2 dictionary entry — (termLen, term bytes,
+// postingsLen) — returning the term (aliasing dict), the posting list's
+// byte length, and the remaining dictionary bytes.
+func nextDictEntry(dict []byte) (term []byte, plen int, rest []byte, err error) {
+	tlen, n := binary.Uvarint(dict)
+	if n <= 0 || uint64(len(dict)-n) < tlen {
+		return nil, 0, nil, errCorruptSegment
+	}
+	term = dict[n : n+int(tlen)]
+	dict = dict[n+int(tlen):]
+	p, n := binary.Uvarint(dict)
+	if n <= 0 || p > 1<<31 {
+		return nil, 0, nil, errCorruptSegment
+	}
+	return term, int(p), dict[n:], nil
+}
+
+// validateLazyRegions walks the dictionary and postings regions once at
+// decode time: dictionary entries must parse with strictly sorted terms
+// and a count matching nterms, postings lengths must tile the postings
+// region exactly, every posting list must scan as well-formed varints
+// with strictly ascending doc IDs, and each block-index record must agree
+// exactly with the walk (its first term and both offsets land on the
+// entry the walk reaches at that stride) so lookups can trust the index.
+// The scan allocates nothing and builds nothing — it only proves the
+// bytes are decodable — so DecodeSegment keeps v1's fail-loud contract
+// for corrupt input (a byzantine worker's digest covers its corrupt
+// bytes, so hash verification alone can't) while first-use decoding
+// keeps the allocation win.
+func validateLazyRegions(dict, posts []byte, nterms int, blocks []lazyBlock) error {
+	var prev []byte
+	count, postOff := 0, 0
+	dictLen := len(dict)
+	for len(dict) > 0 {
+		dictOff := dictLen - len(dict)
+		term, plen, rest, err := nextDictEntry(dict)
+		if err != nil {
+			return err
+		}
+		if count%dictBlockSize == 0 {
+			bi := count / dictBlockSize
+			if bi >= len(blocks) {
+				return errCorruptSegment
+			}
+			b := blocks[bi]
+			if b.dictOff != dictOff || b.postOff != postOff || !bytes.Equal(b.firstTerm, term) {
+				return errCorruptSegment
+			}
+		}
+		if count > 0 && bytes.Compare(prev, term) >= 0 {
+			return errCorruptSegment
+		}
+		if postOff+plen > len(posts) {
+			return errCorruptSegment
+		}
+		if err := scanPostings(posts[postOff : postOff+plen]); err != nil {
+			return err
+		}
+		prev = term
+		count++
+		postOff += plen
+		dict = rest
+	}
+	if count != nterms || postOff != len(posts) {
+		return errCorruptSegment
+	}
+	if (count+dictBlockSize-1)/dictBlockSize != len(blocks) {
+		return errCorruptSegment
+	}
+	return nil
+}
+
+// scanPostings structurally validates one encoded posting list without
+// materializing it: every varint parses, doc IDs are strictly ascending
+// and fit in 32 bits (truncation on decode would silently break the
+// ordering the lookup path relies on), and the list consumes its window
+// exactly.
+func scanPostings(b []byte) error {
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return errCorruptPostings
+	}
+	b = b[n:]
+	doc := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		gap, n := binary.Uvarint(b)
+		if n <= 0 || (i > 0 && gap == 0) || gap > 1<<32-1 {
+			return errCorruptPostings
+		}
+		doc += gap // cannot wrap: both operands stay below 2^32
+		if doc > 1<<32-1 {
+			return errCorruptPostings
+		}
+		b = b[n:]
+		if _, n = binary.Uvarint(b); n <= 0 { // TF
+			return errCorruptPostings
+		}
+		b = b[n:]
+		npos, n := binary.Uvarint(b)
+		if n <= 0 {
+			return errCorruptPostings
+		}
+		b = b[n:]
+		for j := uint64(0); j < npos; j++ {
+			if _, n = binary.Uvarint(b); n <= 0 {
+				return errCorruptPostings
+			}
+			b = b[n:]
+		}
+	}
+	if len(b) != 0 {
+		return errCorruptPostings
+	}
+	return nil
+}
+
+// cmpBytesString compares b to s lexicographically without allocating.
+func cmpBytesString(b []byte, s string) int {
+	n := len(b)
+	if len(s) < n {
+		n = len(s)
+	}
+	for i := 0; i < n; i++ {
+		if b[i] != s[i] {
+			if b[i] < s[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(b) < len(s):
+		return -1
+	case len(b) > len(s):
+		return 1
+	}
+	return 0
+}
+
+// lookup binary-searches the block index for the term's block, then scans
+// that block's dictionary entries, accumulating the postings byte offset,
+// and decodes exactly one posting list on a hit.
+func (l *lazySegment) lookup(term string) (PostingList, bool, error) {
+	// Last block whose first term is <= term.
+	bi := sort.Search(len(l.blocks), func(i int) bool {
+		return cmpBytesString(l.blocks[i].firstTerm, term) > 0
+	}) - 1
+	if bi < 0 {
+		return nil, false, nil
+	}
+	b := l.blocks[bi]
+	dictEnd := len(l.dict)
+	if bi+1 < len(l.blocks) {
+		dictEnd = l.blocks[bi+1].dictOff
+	}
+	dict := l.dict[b.dictOff:dictEnd]
+	postOff := b.postOff
+	for len(dict) > 0 {
+		tb, plen, rest, err := nextDictEntry(dict)
+		if err != nil {
+			return nil, false, err
+		}
+		dict = rest
+		switch c := cmpBytesString(tb, term); {
+		case c == 0:
+			if postOff+plen > len(l.posts) {
+				return nil, false, errCorruptSegment
+			}
+			pl, rest, err := DecodePostings(l.posts[postOff : postOff+plen])
+			if err != nil {
+				return nil, false, err
+			}
+			if len(rest) != 0 {
+				return nil, false, errCorruptSegment
+			}
+			if err := pl.sortCheck(); err != nil {
+				return nil, false, err
+			}
+			return pl, true, nil
+		case c > 0:
+			return nil, false, nil // dictionary is sorted: term absent
+		}
+		postOff += plen
+	}
+	return nil, false, nil
+}
+
+// decodeAll decodes every posting list in dictionary order. Caller holds
+// the owning Segment's write lock.
+func (l *lazySegment) decodeAll() (map[string]PostingList, error) {
+	m := make(map[string]PostingList, l.nterms)
+	dict := l.dict
+	postOff := 0
+	for len(dict) > 0 {
+		tb, plen, rest, err := nextDictEntry(dict)
+		if err != nil {
+			return nil, err
+		}
+		dict = rest
+		if postOff+plen > len(l.posts) {
+			return nil, errCorruptSegment
+		}
+		pl, prest, err := DecodePostings(l.posts[postOff : postOff+plen])
+		if err != nil {
+			return nil, err
+		}
+		if len(prest) != 0 {
+			return nil, errCorruptSegment
+		}
+		if err := pl.sortCheck(); err != nil {
+			return nil, err
+		}
+		m[string(tb)] = pl
+		postOff += plen
+	}
+	if len(m) != l.nterms {
+		return nil, errCorruptSegment
+	}
+	return m, nil
+}
+
+// Validate checks internal consistency: decodable, sorted postings and
+// every posting doc covered by DocLens.
 func (s *Segment) Validate() error {
-	for term, pl := range s.Terms {
+	terms, err := s.postingsMap()
+	if err != nil {
+		return err
+	}
+	for term, pl := range terms {
 		if err := pl.sortCheck(); err != nil {
 			return fmt.Errorf("term %q: %w", term, err)
 		}
@@ -227,16 +762,28 @@ func (s *Segment) Validate() error {
 // Merge combines segments into one. Segments are applied oldest
 // generation first; a newer segment's covered documents shadow all their
 // older postings (tombstone semantics), and its postings replace older
-// ones per term. Ties on Gen are broken by input order.
+// ones per term. Ties on Gen are broken by input order. Merging a single
+// segment returns it unchanged (segments are immutable), which keeps a
+// compacted one-segment chain fully lazy. Lazy inputs are materialized; a
+// lazy input whose posting bytes fail to decode is skipped entirely —
+// neither its postings nor its tombstones apply — so corruption can hide
+// documents it carried but never deletes older valid ones.
 func Merge(segments []*Segment) *Segment {
 	if len(segments) == 0 {
 		return NewSegment(0)
+	}
+	if len(segments) == 1 {
+		return segments[0]
 	}
 	ordered := append([]*Segment(nil), segments...)
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Gen < ordered[j].Gen })
 
 	out := NewSegment(ordered[len(ordered)-1].Gen)
 	for _, seg := range ordered {
+		terms, err := seg.postingsMap()
+		if err != nil {
+			continue
+		}
 		// Tombstone every doc this segment covers.
 		dead := make(map[DocID]bool, len(seg.DocLens))
 		for d := range seg.DocLens {
@@ -248,7 +795,7 @@ func Merge(segments []*Segment) *Segment {
 				delete(out.Terms, term)
 			}
 		}
-		for term, pl := range seg.Terms {
+		for term, pl := range terms {
 			out.Terms[term] = mergePostingLists(out.Terms[term], pl)
 		}
 		for d, l := range seg.DocLens {

@@ -88,8 +88,8 @@ func TestSegmentEncodeDecodeRoundTrip(t *testing.T) {
 	if dec.Gen != 42 {
 		t.Fatalf("gen = %d", dec.Gen)
 	}
-	if len(dec.Terms) != len(seg.Terms) {
-		t.Fatalf("terms = %d, want %d", len(dec.Terms), len(seg.Terms))
+	if dec.NumTerms() != seg.NumTerms() {
+		t.Fatalf("terms = %d, want %d", dec.NumTerms(), seg.NumTerms())
 	}
 	for term, pl := range seg.Terms {
 		got := dec.Postings(term)
