@@ -1,0 +1,159 @@
+package queenbee
+
+import (
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// Typed sentinel errors of the query surface. Match with errors.Is.
+var (
+	// ErrEmptyQuery means no searchable term survived analysis (empty
+	// string, only stopwords, or only operators/filters).
+	ErrEmptyQuery = query.ErrEmptyQuery
+	// ErrBadSyntax means the query string does not parse, or combines
+	// operators in a way the planner cannot execute (e.g. an exclusion
+	// with no positive term).
+	ErrBadSyntax = query.ErrBadSyntax
+	// ErrShardUnavailable means an index shard could not be loaded from
+	// the DHT (node down, partition, tampered segment).
+	ErrShardUnavailable = core.ErrShardUnavailable
+)
+
+// Explain is the structured execution trace of one query: the analyzed
+// terms, the shard wave, the executed plan tree with per-node candidate
+// counts, and the simulated costs. Request one with QueryBuilder.Explain.
+type Explain = core.Explain
+
+// ExplainNode is one operator of an executed plan (see Explain).
+type ExplainNode = core.ExplainNode
+
+// Response is the full answer to a structured query.
+type Response struct {
+	Results []Result
+	Ads     []Ad
+	// Total counts every document that matched the boolean query,
+	// before pagination truncated to the requested page — ceil(Total /
+	// pageSize) is the page count.
+	Total int
+	// Explain is non-nil when the builder requested an execution trace.
+	Explain *Explain
+}
+
+// QueryBuilder assembles one structured search fluently:
+//
+//	resp, err := engine.Query(`solar "wind turbine" OR panels -nuclear site:dweb://energy/`).
+//		Page(2, 10).
+//		WithSnippets().
+//		Explain().
+//		Run()
+//
+// The default mode parses the full query language: uppercase OR/AND
+// operators, '-' exclusions, quoted phrases, site: URL-prefix filters,
+// and parentheses (docs/query-language.md has the grammar). All, Any
+// and Phrase switch to the flat legacy modes, which treat every one of
+// those as plain text.
+//
+// Builders are single-use: configure, then Run once.
+type QueryBuilder struct {
+	engine    *Engine
+	raw       string
+	mode      core.PlanMode
+	limit     int
+	offset    int
+	snippets  bool
+	explainOn bool
+}
+
+// Query starts a structured query over the deployment's index.
+func (e *Engine) Query(raw string) *QueryBuilder {
+	return &QueryBuilder{engine: e, raw: raw, limit: 10}
+}
+
+// All switches to the flat conjunctive mode: every analyzed term must
+// match, operators and quotes are plain text (what Search always did).
+func (b *QueryBuilder) All() *QueryBuilder {
+	b.mode = core.PlanAll
+	return b
+}
+
+// Any switches to the flat disjunctive mode: any analyzed term may
+// match (what SearchAny always did).
+func (b *QueryBuilder) Any() *QueryBuilder {
+	b.mode = core.PlanAny
+	return b
+}
+
+// Phrase switches to the flat phrase mode: the analyzed terms must
+// appear adjacent and in order (what SearchPhrase always did).
+func (b *QueryBuilder) Phrase() *QueryBuilder {
+	b.mode = core.PlanPhrase
+	return b
+}
+
+// Limit caps the number of returned results. Equivalent to Page(1, k).
+func (b *QueryBuilder) Limit(k int) *QueryBuilder {
+	if k > 0 {
+		b.limit = k
+		b.offset = 0
+	}
+	return b
+}
+
+// Page selects page n (1-based) of the given size. Pages tile the
+// ranked result list: disjoint, in rank order, and their union is the
+// full result set. A non-positive size keeps the current page size
+// (the default 10, or a prior Limit), so the page number still applies.
+func (b *QueryBuilder) Page(n, size int) *QueryBuilder {
+	if n < 1 {
+		n = 1
+	}
+	if size <= 0 {
+		size = b.limit
+	}
+	b.limit = size
+	b.offset = (n - 1) * size
+	return b
+}
+
+// WithSnippets attaches a text snippet around the first match of each
+// result (costs one extra content fetch per result, modeled as a
+// parallel wave).
+func (b *QueryBuilder) WithSnippets() *QueryBuilder {
+	b.snippets = true
+	return b
+}
+
+// Explain records the executed plan — per-node candidate counts, the
+// shard wave, simulated costs — into Response.Explain.
+func (b *QueryBuilder) Explain() *QueryBuilder {
+	b.explainOn = true
+	return b
+}
+
+// Run executes the query and composes the response.
+func (b *QueryBuilder) Run() (*Response, error) {
+	resp, err := b.engine.frontend.Execute(core.Query{
+		Raw:      b.raw,
+		Mode:     b.mode,
+		Limit:    b.limit,
+		Offset:   b.offset,
+		Snippets: b.snippets,
+		Explain:  b.explainOn,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Response{
+		Results: make([]Result, 0, len(resp.Results)),
+		Ads:     make([]Ad, 0, len(resp.Ads)),
+		Total:   resp.Total,
+		Explain: resp.Explain,
+	}
+	for _, r := range resp.Results {
+		out.Results = append(out.Results, Result{URL: r.URL, Score: r.Score, Rank: r.Rank, Snippet: r.Snippet})
+	}
+	for _, a := range resp.Ads {
+		out.Ads = append(out.Ads, Ad{ID: a.ID, Keywords: a.Keywords, BidPerClick: a.BidPerClick})
+	}
+	return out, nil
+}

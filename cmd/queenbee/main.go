@@ -5,6 +5,13 @@
 // Usage:
 //
 //	queenbee -peers 24 -bees 6 -docs 40 -query "decentralized search"
+//	queenbee -query 'search OR retrieval -crawler site:dweb://doc-000' -explain
+//
+// The -query flag speaks the full structured query language (uppercase
+// OR/AND, '-' exclusions, "quoted phrases", site: URL-prefix filters,
+// parentheses — see docs/query-language.md); -explain prints the
+// compiled execution plan with per-node candidate counts and simulated
+// network cost.
 package main
 
 import (
@@ -21,7 +28,8 @@ func main() {
 	bees := flag.Int("bees", 4, "worker bees")
 	docs := flag.Int("docs", 30, "synthetic pages to publish")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
-	query := flag.String("query", "", "extra query to run (optional)")
+	query := flag.String("query", "", "extra structured query to run (optional; supports OR/AND, -, quotes, site:)")
+	explain := flag.Bool("explain", false, "print the execution plan for -query")
 	flag.Parse()
 
 	engine := queenbee.New(
@@ -59,21 +67,13 @@ func main() {
 		os.Exit(1)
 	}
 
-	queries := corp.Queries(*seed, 3, 2)
-	texts := make([]string, 0, 4)
-	for _, q := range queries {
-		texts = append(texts, q.Text)
-	}
-	if *query != "" {
-		texts = append(texts, *query)
-	}
-	for _, q := range texts {
-		results, ads, err := engine.Search(q, 5)
+	for _, q := range corp.Queries(*seed, 3, 2) {
+		results, ads, err := engine.Search(q.Text, 5)
 		if err != nil {
-			fmt.Printf("query %q: %v\n", q, err)
+			fmt.Printf("query %q: %v\n", q.Text, err)
 			continue
 		}
-		fmt.Printf("\nquery %q → %d results\n", q, len(results))
+		fmt.Printf("\nquery %q → %d results\n", q.Text, len(results))
 		for i, r := range results {
 			fmt.Printf("  %d. %-28s score=%.3f rank=%.4f\n", i+1, r.URL, r.Score, r.Rank)
 		}
@@ -81,6 +81,30 @@ func main() {
 			fmt.Printf("  [ad %d] keywords=%v bid=%d\n", ad.ID, ad.Keywords, ad.BidPerClick)
 			if err := engine.Click(user, ad.ID, results[0].URL); err == nil {
 				fmt.Printf("  [ad %d] user clicked — creator and bees paid\n", ad.ID)
+			}
+		}
+	}
+	// The -query flag goes through the structured pipeline: boolean
+	// operators, exclusions, site: filters, pagination, Explain.
+	if *query != "" {
+		b := engine.Query(*query).Page(1, 5)
+		if *explain {
+			b = b.Explain()
+		}
+		resp, err := b.Run()
+		if err != nil {
+			fmt.Printf("\nstructured query %q: %v\n", *query, err)
+		} else {
+			fmt.Printf("\nstructured query %q → %d of %d matches\n",
+				*query, len(resp.Results), resp.Total)
+			for i, r := range resp.Results {
+				fmt.Printf("  %d. %-28s score=%.3f rank=%.4f\n", i+1, r.URL, r.Score, r.Rank)
+			}
+			for _, ad := range resp.Ads {
+				fmt.Printf("  [ad %d] keywords=%v bid=%d\n", ad.ID, ad.Keywords, ad.BidPerClick)
+			}
+			if resp.Explain != nil {
+				fmt.Print(resp.Explain.String())
 			}
 		}
 	}

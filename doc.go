@@ -16,10 +16,34 @@
 //	alice := engine.NewAccount("alice", 1_000)
 //	engine.Publish(alice, "dweb://hive", "bees make honey", nil)
 //	engine.Run(3) // worker bees index the publish
-//	results, _ := engine.Search("honey", 10)
+//	results, _, _ := engine.Search("honey", 10)
 //
 // Everything runs on one machine against a deterministic virtual clock:
 // no real network, no real time, fully reproducible per seed.
+//
+// # Structured queries
+//
+// Search answers flat conjunctive queries. The Query builder speaks the
+// full query language (docs/query-language.md): uppercase OR/AND
+// operators, '-' exclusions, "quoted phrases", site: URL-prefix
+// filters, and parentheses — compiled into an execution plan that loads
+// each distinct index shard once, as one parallel fetch wave, then
+// intersects, unions and subtracts posting lists per operator:
+//
+//	resp, err := engine.Query(`solar "wind turbine" OR panels -nuclear site:dweb://energy/`).
+//		Page(2, 10).      // second page of ten results
+//		WithSnippets().   // fetch content, attach match snippets
+//		Explain().        // record the executed plan
+//		Run()
+//
+// resp.Total counts every matching document, resp.Results carries the
+// requested page in deterministic rank order, and resp.Explain reports
+// the plan tree with per-node candidate counts and the simulated
+// network cost of each stage. Parse and planning failures surface as
+// the typed sentinels ErrEmptyQuery, ErrBadSyntax and
+// ErrShardUnavailable (match with errors.Is); the legacy Search,
+// SearchAny, SearchPhrase and SearchSnippets remain as thin wrappers
+// over the same pipeline.
 //
 // # Query hot path
 //

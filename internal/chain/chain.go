@@ -31,7 +31,11 @@ type Contract interface {
 // Event is one log entry a contract emitted. Worker bees and frontends
 // poll events to learn about publishes, task assignments and payouts.
 type Event struct {
-	Height   uint64
+	Height uint64
+	// Tx is the hash of the transaction that emitted the event — the
+	// deterministic link from a submitted call to its outputs (e.g. the
+	// campaign ID RegisterAd assigns).
+	Tx       [32]byte
 	Contract string
 	Type     string
 	Attrs    map[string]string
@@ -210,7 +214,13 @@ func (c *Chain) applyLocked(tx *Tx, height uint64) error {
 		return err
 	}
 	buf.commit()
-	c.events = append(c.events, ctx.pendingEvents...)
+	if len(ctx.pendingEvents) > 0 {
+		txHash := tx.Hash()
+		for i := range ctx.pendingEvents {
+			ctx.pendingEvents[i].Tx = txHash
+		}
+		c.events = append(c.events, ctx.pendingEvents...)
+	}
 	return nil
 }
 
@@ -257,6 +267,32 @@ func (c *Chain) EventsSince(h uint64) ([]Event, uint64) {
 		}
 	}
 	return out, c.blocks[len(c.blocks)-1].Height
+}
+
+// EventsFor returns the events one transaction emitted, in emission
+// order — the way to read a contract call's outputs without scanning
+// shared state that later transactions may have moved on.
+func (c *Chain) EventsFor(txHash [32]byte) []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// A transaction executes once, so its events sit in one contiguous
+	// batch — and callers almost always ask about a transaction they
+	// just sealed, so scan from the tail and stop at the batch.
+	end := -1
+	for i := len(c.events) - 1; i >= 0; i-- {
+		if c.events[i].Tx == txHash {
+			end = i + 1
+			break
+		}
+	}
+	if end < 0 {
+		return nil
+	}
+	start := end - 1
+	for start > 0 && c.events[start-1].Tx == txHash {
+		start--
+	}
+	return append([]Event(nil), c.events[start:end]...)
 }
 
 // Events returns every event (test helper).

@@ -240,6 +240,34 @@ func TestEventsEmittedOnlyOnSuccess(t *testing.T) {
 	}
 }
 
+// TestEventsForTx: two emitting calls in one block; each transaction's
+// events carry its hash, and EventsFor slices them apart.
+func TestEventsForTx(t *testing.T) {
+	alice := NewNamedAccount(1, "alice")
+	c, _ := newTestChain(alice)
+	c.RegisterContract(&testContract{}, false)
+
+	tx1 := NewCall(alice, 0, "test", "emit", nil, 0)
+	tx2 := NewCall(alice, 1, "test", "emit", nil, 0)
+	c.Submit(tx1)
+	c.Submit(tx2)
+	c.Seal()
+
+	for _, tx := range []*Tx{tx1, tx2} {
+		h := tx.Hash()
+		evs := c.EventsFor(h)
+		if len(evs) != 1 {
+			t.Fatalf("EventsFor(%x) = %d events, want 1", h[:4], len(evs))
+		}
+		if evs[0].Tx != h || evs[0].Type != "tested" {
+			t.Fatalf("event = %+v, want stamped with tx %x", evs[0], h[:4])
+		}
+	}
+	if evs := c.EventsFor([32]byte{0xFF}); evs != nil {
+		t.Fatalf("unknown tx hash returned events: %+v", evs)
+	}
+}
+
 func TestMintPrivilege(t *testing.T) {
 	alice := NewNamedAccount(1, "alice")
 	c, _ := newTestChain(alice)

@@ -75,7 +75,14 @@ type SearchResponse struct {
 	Results []Result
 	Ads     []Ad
 	Cost    netsim.Cost
-	Terms   []string
+	// Terms are the positive analyzed terms (excluded terms drive
+	// shard loading but not scoring, ads or snippets).
+	Terms []string
+	// Total counts every candidate that survived boolean evaluation,
+	// before ranking truncated to the requested page.
+	Total int
+	// Explain is the execution trace; nil unless Query.Explain was set.
+	Explain *Explain
 }
 
 // Search runs the full frontend pipeline for a conjunctive (AND) query.
@@ -84,12 +91,13 @@ func (f *Frontend) Search(query string, k int) (SearchResponse, error) {
 	return f.SearchWith(query, SearchOptions{Mode: ModeAND, K: k})
 }
 
-// scoreAndCompose ranks the candidate documents with BM25 × PageRank and
-// fills in results and ads — steps 3–5 of the frontend pipeline, shared
-// by every query mode.
+// scoreAndCompose ranks the candidate documents with BM25 × PageRank,
+// keeps the requested page (offset/limit over the deterministic total
+// order), and fills in results and ads — steps 3–5 of the frontend
+// pipeline, shared by every query mode.
 func (f *Frontend) scoreAndCompose(resp *SearchResponse, terms []string,
 	merged map[string]index.PostingList, segsByShard map[int]*index.Segment,
-	docs []index.DocID, k int) {
+	docs []index.DocID, limit, offset int) {
 
 	// Collection statistics only shift BM25 constants, so they are
 	// cached and refreshed only when the page count changes.
@@ -107,13 +115,30 @@ func (f *Frontend) scoreAndCompose(resp *SearchResponse, terms []string,
 			maxRank = r
 		}
 	}
-	f.refreshDocURLs()
+	urls := f.docURLView()
 
-	docLen := func(d index.DocID) uint32 {
-		for _, seg := range segsByShard {
-			if l, ok := seg.DocLens[d]; ok {
-				return l
+	// One DocID→length lookup, built up front: each candidate probes
+	// every loaded shard at most once, instead of rescanning the shards
+	// for every (doc, term) pair in the scoring loop below. Shards are
+	// probed in ascending id order so collisions resolve the same way
+	// on every run.
+	shardIDs := make([]int, 0, len(segsByShard))
+	for sid := range segsByShard {
+		shardIDs = append(shardIDs, sid)
+	}
+	sort.Ints(shardIDs)
+	lens := make(map[index.DocID]uint32, len(docs))
+	for _, d := range docs {
+		for _, sid := range shardIDs {
+			if l, ok := segsByShard[sid].DocLens[d]; ok {
+				lens[d] = l
+				break
 			}
+		}
+	}
+	docLen := func(d index.DocID) uint32 {
+		if l, ok := lens[d]; ok {
+			return l
 		}
 		return uint32(avgDocLen(stats))
 	}
@@ -127,14 +152,19 @@ func (f *Frontend) scoreAndCompose(resp *SearchResponse, terms []string,
 				text += scorer.TermScore(p.TF, docLen(d), len(pl))
 			}
 		}
-		url := f.docURL[d]
+		url := urls[d]
 		final := scorer.Combine(text, ranks[url], maxRank)
 		scored = append(scored, index.ScoredDoc{Doc: d, Score: final})
 	}
-	top := index.TopK(scored, k)
+	top := index.TopK(scored, offset+limit)
+	if offset >= len(top) {
+		top = nil
+	} else {
+		top = top[offset:]
+	}
 
 	for _, sd := range top {
-		url := f.docURL[sd.Doc]
+		url := urls[sd.Doc]
 		if url == "" {
 			continue // unindexed or collision; skip
 		}
@@ -264,6 +294,17 @@ func (f *Frontend) refreshDocURLs() {
 		f.docURL[index.DocIDOf(url)] = url
 	}
 	f.docURLGen = n
+}
+
+// docURLView refreshes and returns the current DocID→URL map. The map
+// is replaced wholesale on refresh, never mutated in place, so readers
+// may keep the returned reference without holding f.mu.
+func (f *Frontend) docURLView() map[index.DocID]string {
+	f.refreshDocURLs()
+	f.mu.Lock()
+	m := f.docURL
+	f.mu.Unlock()
+	return m
 }
 
 // FetchResult downloads and verifies the content of a search result.

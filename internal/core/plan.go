@@ -1,0 +1,397 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/index"
+	"repro/internal/netsim"
+	"repro/internal/query"
+)
+
+// ErrShardUnavailable wraps failures to load an index shard from the
+// DHT (node down, partition, byzantine segment bytes). Callers match
+// with errors.Is.
+var ErrShardUnavailable = errors.New("core: index shard unavailable")
+
+// PlanMode selects how Execute turns the raw query string into an AST.
+type PlanMode int
+
+// Plan modes.
+const (
+	// PlanParsed runs the full query language: AND/OR/NOT operators,
+	// quoted phrases, site: prefix filters, parentheses.
+	PlanParsed PlanMode = iota
+	// PlanAll ANDs every analyzed term (flat legacy Search).
+	PlanAll
+	// PlanAny ORs every analyzed term (flat legacy SearchAny).
+	PlanAny
+	// PlanPhrase matches every analyzed term as one adjacent phrase
+	// (flat legacy SearchPhrase).
+	PlanPhrase
+)
+
+// String implements fmt.Stringer.
+func (m PlanMode) String() string {
+	switch m {
+	case PlanParsed:
+		return "parsed"
+	case PlanAll:
+		return "all"
+	case PlanAny:
+		return "any"
+	case PlanPhrase:
+		return "phrase"
+	default:
+		return fmt.Sprintf("PlanMode(%d)", int(m))
+	}
+}
+
+// Query is one structured request against the frontend.
+type Query struct {
+	// Raw is the query string; how it is interpreted depends on Mode.
+	Raw string
+	// Mode defaults to PlanParsed (the full query language).
+	Mode PlanMode
+	// Limit caps the number of returned results — the page size.
+	// Zero means 10.
+	Limit int
+	// Offset skips that many ranked results before collecting Limit
+	// (Offset 20, Limit 10 is page 3).
+	Offset int
+	// Snippets fetches each result's content and attaches a snippet.
+	Snippets bool
+	// Explain records the executed plan, per-node candidate counts and
+	// simulated costs into SearchResponse.Explain.
+	Explain bool
+}
+
+// ExplainNode is one executed plan node: the operator, its operand
+// rendered as text, and how many candidate documents survived it.
+type ExplainNode struct {
+	Op         string // "term" | "phrase" | "and" | "or" | "not" | "site"
+	Detail     string // the term, phrase, or URL prefix
+	Candidates int
+	Children   []*ExplainNode
+}
+
+// Explain is the structured execution trace of one query.
+type Explain struct {
+	Query string
+	Mode  string
+	// Terms lists every distinct analyzed term the plan loaded,
+	// excluded terms included; Shards the distinct index shards those
+	// terms hash to, fetched as one parallel wave.
+	Terms  []string
+	Shards []int
+	// Plan is the executed operator tree with candidate counts.
+	Plan *ExplainNode
+	// Candidates counts documents surviving boolean evaluation;
+	// Returned the results after ranking and pagination.
+	Candidates int
+	Returned   int
+	// LoadCost is the shard wave; SnippetCost the parallel content
+	// fetches (zero without snippets); TotalCost everything, including
+	// collection statistics reads.
+	LoadCost    netsim.Cost
+	SnippetCost netsim.Cost
+	TotalCost   netsim.Cost
+}
+
+// String renders the trace as an indented plan tree for CLI output.
+func (e *Explain) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %q mode=%s terms=%v shards=%v\n", e.Query, e.Mode, e.Terms, e.Shards)
+	writePlan(&b, e.Plan, 1)
+	fmt.Fprintf(&b, "candidates=%d returned=%d\n", e.Candidates, e.Returned)
+	fmt.Fprintf(&b, "cost: load=%v/%dB/%dmsg total=%v/%dB/%dmsg\n",
+		e.LoadCost.Latency, e.LoadCost.Bytes, e.LoadCost.Msgs,
+		e.TotalCost.Latency, e.TotalCost.Bytes, e.TotalCost.Msgs)
+	return b.String()
+}
+
+func writePlan(b *strings.Builder, n *ExplainNode, depth int) {
+	if n == nil {
+		return
+	}
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(n.Op)
+	if n.Detail != "" {
+		b.WriteByte(' ')
+		b.WriteString(n.Detail)
+	}
+	fmt.Fprintf(b, " → %d docs\n", n.Candidates)
+	for _, k := range n.Children {
+		writePlan(b, k, depth+1)
+	}
+}
+
+// Execute runs one structured query through the full frontend pipeline:
+// compile the AST (parse or flat-build per Mode), resolve the distinct
+// shards it touches and load them as one parallel wave, evaluate the
+// boolean plan over posting lists, rank with BM25×PageRank, paginate,
+// and optionally attach snippets and the execution trace.
+func (f *Frontend) Execute(q Query) (SearchResponse, error) {
+	limit := q.Limit
+	if limit <= 0 {
+		limit = 10
+	}
+	offset := q.Offset
+	if offset < 0 {
+		offset = 0
+	}
+
+	var resp SearchResponse
+	root, err := compileAST(q)
+	if err != nil {
+		return resp, err
+	}
+	allTerms, posTerms := query.Terms(root)
+	resp.Terms = posTerms
+
+	// Plan the shard wave: distinct shards in term-appearance order.
+	shardOf := make(map[string]int, len(allTerms))
+	shards := make([]int, 0, len(allTerms))
+	seen := make(map[int]bool, len(allTerms))
+	for _, term := range allTerms {
+		shard := index.ShardOf(term, f.cluster.cfg.NumShards)
+		shardOf[term] = shard
+		if !seen[shard] {
+			seen[shard] = true
+			shards = append(shards, shard)
+		}
+	}
+	segsByShard, loadCost, err := f.loadShards(shards)
+	resp.Cost = resp.Cost.Seq(loadCost)
+	if err != nil {
+		return resp, fmt.Errorf("%w: %w", ErrShardUnavailable, err)
+	}
+	merged := make(map[string]index.PostingList, len(allTerms))
+	for _, term := range allTerms {
+		merged[term] = segsByShard[shardOf[term]].Postings(term)
+	}
+
+	ev := &evaluator{f: f, merged: merged, explain: q.Explain}
+	if query.HasSite(root) {
+		ev.urls = f.docURLView()
+	}
+	docs, plan := ev.eval(root)
+	resp.Total = len(docs)
+
+	if len(docs) > 0 {
+		f.scoreAndCompose(&resp, posTerms, merged, segsByShard, docs, limit, offset)
+	}
+	var snippetCost netsim.Cost
+	if q.Snippets && len(resp.Results) > 0 {
+		snippetCost = f.attachSnippets(&resp, posTerms)
+	}
+	if q.Explain {
+		resp.Explain = &Explain{
+			Query:       q.Raw,
+			Mode:        q.Mode.String(),
+			Terms:       allTerms,
+			Shards:      shards,
+			Plan:        plan,
+			Candidates:  len(docs),
+			Returned:    len(resp.Results),
+			LoadCost:    loadCost,
+			SnippetCost: snippetCost,
+			TotalCost:   resp.Cost,
+		}
+	}
+	return resp, nil
+}
+
+// compileAST turns the raw query string into the boolean AST, either
+// through the parser (PlanParsed) or as one flat operator over the
+// analyzed terms (the legacy Search/SearchAny/SearchPhrase semantics,
+// which treat operators and quotes as plain text).
+func compileAST(q Query) (*query.Node, error) {
+	if q.Mode == PlanParsed {
+		return query.Parse(q.Raw)
+	}
+	terms := index.AnalyzeQuery(q.Raw)
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("%w: %q", query.ErrEmptyQuery, q.Raw)
+	}
+	if len(terms) == 1 {
+		return &query.Node{Kind: query.KindTerm, Term: terms[0]}, nil
+	}
+	if q.Mode == PlanPhrase {
+		return &query.Node{Kind: query.KindPhrase, Terms: terms}, nil
+	}
+	kids := make([]*query.Node, len(terms))
+	for i, t := range terms {
+		kids[i] = &query.Node{Kind: query.KindTerm, Term: t}
+	}
+	kind := query.KindAnd
+	if q.Mode == PlanAny {
+		kind = query.KindOr
+	}
+	return &query.Node{Kind: kind, Kids: kids}, nil
+}
+
+// evaluator walks the AST bottom-up, producing sorted candidate doc
+// lists per node and, when tracing, the matching ExplainNode tree.
+type evaluator struct {
+	f       *Frontend
+	merged  map[string]index.PostingList
+	urls    map[index.DocID]string // DocID→URL snapshot; set iff the tree has site: filters
+	explain bool
+}
+
+// node builds an ExplainNode, or nil when tracing is off.
+func (ev *evaluator) node(op, detail string, candidates int, kids []*ExplainNode) *ExplainNode {
+	if !ev.explain {
+		return nil
+	}
+	return &ExplainNode{Op: op, Detail: detail, Candidates: candidates, Children: kids}
+}
+
+func (ev *evaluator) eval(n *query.Node) ([]index.DocID, *ExplainNode) {
+	switch n.Kind {
+	case query.KindTerm:
+		docs := ev.merged[n.Term].Docs()
+		return docs, ev.node("term", n.Term, len(docs), nil)
+	case query.KindPhrase:
+		return ev.evalPhrase(n)
+	case query.KindOr:
+		return ev.evalOr(n)
+	case query.KindAnd:
+		return ev.evalAnd(n)
+	default:
+		// KindNot and KindSite are handled inside evalAnd; the parser's
+		// validation pass guarantees they never stand alone.
+		return nil, ev.node(n.Kind.String(), "", 0, nil)
+	}
+}
+
+func (ev *evaluator) evalPhrase(n *query.Node) ([]index.DocID, *ExplainNode) {
+	detail := ""
+	if ev.explain {
+		detail = `"` + strings.Join(n.Terms, " ") + `"`
+	}
+	lists := make([][]index.DocID, 0, len(n.Terms))
+	pls := make([]index.PostingList, 0, len(n.Terms))
+	for _, t := range n.Terms {
+		pl := ev.merged[t]
+		if len(pl) == 0 {
+			return nil, ev.node("phrase", detail, 0, nil)
+		}
+		lists = append(lists, pl.Docs())
+		pls = append(pls, pl)
+	}
+	var out []index.DocID
+	for _, d := range index.IntersectGallop(lists) {
+		if index.PhraseMatch(d, pls) {
+			out = append(out, d)
+		}
+	}
+	return out, ev.node("phrase", detail, len(out), nil)
+}
+
+func (ev *evaluator) evalOr(n *query.Node) ([]index.DocID, *ExplainNode) {
+	var kids []*ExplainNode
+	lists := make([][]index.DocID, 0, len(n.Kids))
+	for _, kid := range n.Kids {
+		docs, kex := ev.eval(kid)
+		if len(docs) > 0 {
+			lists = append(lists, docs)
+		}
+		if kex != nil {
+			kids = append(kids, kex)
+		}
+	}
+	docs := index.Union(lists)
+	return docs, ev.node("or", "", len(docs), kids)
+}
+
+// evalAnd intersects the conjunction's positive legs, then applies its
+// subtractive legs: exclusions (set difference) and site: filters (URL
+// prefix predicates, which also cover -site: exclusions).
+func (ev *evaluator) evalAnd(n *query.Node) ([]index.DocID, *ExplainNode) {
+	type siteFilter struct {
+		prefix string
+		keep   bool
+		ex     *ExplainNode
+	}
+	var kids []*ExplainNode
+	var lists [][]index.DocID
+	var exclusions [][]index.DocID
+	var filters []siteFilter
+	for _, kid := range n.Kids {
+		switch kid.Kind {
+		case query.KindSite:
+			fex := ev.node("site", kid.Prefix, 0, nil)
+			filters = append(filters, siteFilter{prefix: kid.Prefix, keep: true, ex: fex})
+			if fex != nil {
+				kids = append(kids, fex)
+			}
+		case query.KindNot:
+			inner := kid.Kids[0]
+			if inner.Kind == query.KindSite {
+				fex := ev.node("not", "site:"+inner.Prefix, 0, nil)
+				filters = append(filters, siteFilter{prefix: inner.Prefix, keep: false, ex: fex})
+				if fex != nil {
+					kids = append(kids, fex)
+				}
+				continue
+			}
+			docs, childEx := ev.eval(inner)
+			exclusions = append(exclusions, docs)
+			if nex := ev.node("not", "", len(docs), []*ExplainNode{childEx}); nex != nil {
+				kids = append(kids, nex)
+			}
+		default:
+			docs, kex := ev.eval(kid)
+			lists = append(lists, docs)
+			if kex != nil {
+				kids = append(kids, kex)
+			}
+		}
+	}
+	docs := ev.intersect(lists)
+	for _, x := range exclusions {
+		if len(docs) == 0 {
+			break
+		}
+		docs = index.Difference(docs, x)
+	}
+	for _, flt := range filters {
+		docs = ev.filterSite(docs, flt.prefix, flt.keep)
+		if flt.ex != nil {
+			flt.ex.Candidates = len(docs)
+		}
+	}
+	return docs, ev.node("and", "", len(docs), kids)
+}
+
+// intersect runs the configured kernel (ablation A1) over the positive
+// conjunction legs.
+func (ev *evaluator) intersect(lists [][]index.DocID) []index.DocID {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	if ev.f.UseGallopIntersection {
+		return index.IntersectGallop(lists)
+	}
+	return index.IntersectMerge(lists)
+}
+
+// filterSite keeps (or, when keep is false, drops) the candidates whose
+// URL starts with prefix, against the evaluator's URL snapshot. A DocID
+// with no known URL never matches a prefix, so site: drops it and
+// -site: keeps it.
+func (ev *evaluator) filterSite(docs []index.DocID, prefix string, keep bool) []index.DocID {
+	out := docs[:0:0]
+	for _, d := range docs {
+		if strings.HasPrefix(ev.urls[d], prefix) == keep {
+			out = append(out, d)
+		}
+	}
+	return out
+}

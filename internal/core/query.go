@@ -5,9 +5,12 @@ import (
 	"strings"
 
 	"repro/internal/index"
+	"repro/internal/netsim"
 )
 
-// QueryMode selects the boolean semantics of a search.
+// QueryMode selects the boolean semantics of a flat (legacy) search.
+// The structured query language (see Execute and internal/query) is the
+// richer surface; these modes survive as the thin Search* wrappers.
 type QueryMode int
 
 // Query modes.
@@ -17,7 +20,7 @@ const (
 	// ModeOR returns documents containing any term.
 	ModeOR
 	// ModePhrase returns documents containing the terms as an exact
-	// adjacent phrase (positional match).
+	// adjacent phrase (positional postings).
 	ModePhrase
 )
 
@@ -35,7 +38,7 @@ func (m QueryMode) String() string {
 	}
 }
 
-// SearchOptions tunes one query.
+// SearchOptions tunes one flat query.
 type SearchOptions struct {
 	Mode QueryMode
 	K    int
@@ -45,113 +48,47 @@ type SearchOptions struct {
 	Snippets bool
 }
 
-// SearchWith runs the frontend pipeline with explicit options. Search is
-// the ModeAND shorthand.
-func (f *Frontend) SearchWith(query string, opts SearchOptions) (SearchResponse, error) {
-	if opts.K <= 0 {
-		opts.K = 10
-	}
-	terms := index.AnalyzeQuery(query)
-	resp := SearchResponse{Terms: terms}
-	if len(terms) == 0 {
-		return resp, fmt.Errorf("core: query %q has no searchable terms", query)
-	}
-
-	// Resolve the distinct shards the query touches, load them all
-	// concurrently, then pull just the queried terms' posting lists (v2
-	// segments decode only those lists).
-	shardOf := make(map[string]int, len(terms))
-	shards := make([]int, 0, len(terms))
-	seen := make(map[int]bool, len(terms))
-	for _, term := range terms {
-		shard := index.ShardOf(term, f.cluster.cfg.NumShards)
-		shardOf[term] = shard
-		if !seen[shard] {
-			seen[shard] = true
-			shards = append(shards, shard)
-		}
-	}
-	segsByShard, cost, err := f.loadShards(shards)
-	resp.Cost = resp.Cost.Seq(cost)
-	if err != nil {
-		return resp, err
-	}
-	merged := make(map[string]index.PostingList, len(terms))
-	for _, term := range terms {
-		merged[term] = segsByShard[shardOf[term]].Postings(term)
-	}
-
-	var docs []index.DocID
-	switch opts.Mode {
+// planMode maps a legacy flat mode onto the planner's equivalent.
+func (m QueryMode) planMode() PlanMode {
+	switch m {
 	case ModeOR:
-		var lists [][]index.DocID
-		for _, term := range terms {
-			if pl := merged[term]; len(pl) > 0 {
-				lists = append(lists, pl.Docs())
-			}
-		}
-		docs = index.Union(lists)
+		return PlanAny
 	case ModePhrase:
-		docs = f.phraseDocs(terms, merged)
+		return PlanPhrase
 	default:
-		var lists [][]index.DocID
-		for _, term := range terms {
-			pl := merged[term]
-			if len(pl) == 0 {
-				return resp, nil
-			}
-			lists = append(lists, pl.Docs())
-		}
-		if f.UseGallopIntersection {
-			docs = index.IntersectGallop(lists)
-		} else {
-			docs = index.IntersectMerge(lists)
-		}
+		return PlanAll
 	}
-	if len(docs) == 0 {
-		return resp, nil
-	}
-
-	f.scoreAndCompose(&resp, terms, merged, segsByShard, docs, opts.K)
-	if opts.Snippets {
-		f.attachSnippets(&resp, terms)
-	}
-	return resp, nil
 }
 
-// phraseDocs intersects the terms, then filters by positional adjacency.
-func (f *Frontend) phraseDocs(terms []string, merged map[string]index.PostingList) []index.DocID {
-	var lists [][]index.DocID
-	var postingLists []index.PostingList
-	for _, term := range terms {
-		pl := merged[term]
-		if len(pl) == 0 {
-			return nil
-		}
-		lists = append(lists, pl.Docs())
-		postingLists = append(postingLists, pl)
-	}
-	candidates := index.IntersectGallop(lists)
-	var out []index.DocID
-	for _, d := range candidates {
-		if index.PhraseMatch(d, postingLists) {
-			out = append(out, d)
-		}
-	}
-	return out
+// SearchWith runs the frontend pipeline with explicit flat-mode
+// options: a thin wrapper over Execute that ANDs/ORs/phrase-matches
+// every analyzed term, treating operators and quotes as plain text.
+func (f *Frontend) SearchWith(raw string, opts SearchOptions) (SearchResponse, error) {
+	return f.Execute(Query{
+		Raw:      raw,
+		Mode:     opts.Mode.planMode(),
+		Limit:    opts.K,
+		Snippets: opts.Snippets,
+	})
 }
 
 // attachSnippets fetches each result's content and extracts a snippet
-// around the first matched term.
-func (f *Frontend) attachSnippets(resp *SearchResponse, terms []string) {
+// around the first matched term. The per-result fetches are independent
+// of each other, so — like the shard loads — they are costed as one
+// parallel wave (Cost.Par): the slowest fetch, not the sum. Returns the
+// wave's cost, which is also folded into resp.Cost.
+func (f *Frontend) attachSnippets(resp *SearchResponse, terms []string) netsim.Cost {
+	var wave netsim.Cost
 	for i := range resp.Results {
 		data, cost, err := f.FetchResult(resp.Results[i])
-		resp.Cost = resp.Cost.Seq(cost)
+		wave = wave.Par(cost)
 		if err != nil {
 			continue
 		}
 		resp.Results[i].Snippet = Snippet(string(data), terms, 12)
 	}
+	resp.Cost = resp.Cost.Seq(wave)
+	return wave
 }
 
 // Snippet extracts a window of words around the first occurrence of any

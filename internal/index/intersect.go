@@ -127,6 +127,29 @@ func union2(a, b []DocID) []DocID {
 	return out
 }
 
+// Difference returns the docs of a that are absent from b — sorted-set
+// subtraction, the NOT operator of the boolean query planner.
+func Difference(a, b []DocID) []DocID {
+	if len(a) == 0 {
+		return nil
+	}
+	if len(b) == 0 {
+		return append([]DocID(nil), a...)
+	}
+	out := a[:0:0]
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j < len(b) && b[j] == v {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
 // PhraseMatch reports whether the postings of consecutive query terms
 // contain the terms at adjacent positions in the given document.
 func PhraseMatch(doc DocID, lists []PostingList) bool {

@@ -111,6 +111,64 @@ func TestUnion(t *testing.T) {
 	}
 }
 
+func TestDifference(t *testing.T) {
+	if got := Difference(docs(1, 3, 5, 7), docs(3, 7, 9)); !equalDocs(got, docs(1, 5)) {
+		t.Fatalf("difference = %v", got)
+	}
+	if got := Difference(docs(1, 2), nil); !equalDocs(got, docs(1, 2)) {
+		t.Fatalf("difference vs empty = %v", got)
+	}
+	if got := Difference(nil, docs(1, 2)); got != nil {
+		t.Fatalf("empty minus anything = %v", got)
+	}
+	if got := Difference(docs(1, 2), docs(1, 2)); len(got) != 0 {
+		t.Fatalf("self difference = %v", got)
+	}
+	// b strictly below / above a: nothing removed.
+	if got := Difference(docs(5, 6), docs(1, 2)); !equalDocs(got, docs(5, 6)) {
+		t.Fatalf("disjoint low = %v", got)
+	}
+	if got := Difference(docs(5, 6), docs(8, 9)); !equalDocs(got, docs(5, 6)) {
+		t.Fatalf("disjoint high = %v", got)
+	}
+}
+
+// Property: Difference agrees with the naive set subtraction and never
+// mutates its inputs.
+func TestDifferenceProperty(t *testing.T) {
+	f := func(seed uint64, szA, szB uint8) bool {
+		rng := xrand.New(seed)
+		build := func(sz int) []DocID {
+			set := map[uint32]bool{}
+			for i := 0; i < sz; i++ {
+				set[uint32(rng.Intn(60))] = true
+			}
+			var l []DocID
+			for v := uint32(0); v < 60; v++ {
+				if set[v] {
+					l = append(l, DocID(v))
+				}
+			}
+			return l
+		}
+		a, b := build(int(szA%40)), build(int(szB%40))
+		inB := map[DocID]bool{}
+		for _, v := range b {
+			inB[v] = true
+		}
+		var want []DocID
+		for _, v := range a {
+			if !inB[v] {
+				want = append(want, v)
+			}
+		}
+		return equalDocs(Difference(a, b), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestGallopSkewedLists(t *testing.T) {
 	// Small list vs huge list: gallop must find exactly the right docs.
 	var huge []DocID

@@ -1,0 +1,379 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/index"
+)
+
+// Typed sentinel errors of the query surface. Callers match with
+// errors.Is; the wrapped messages carry the specifics.
+var (
+	// ErrEmptyQuery means no searchable term survived analysis (empty
+	// string, only stopwords, or only operators/filters).
+	ErrEmptyQuery = errors.New("query: no searchable terms")
+	// ErrBadSyntax means the query string does not parse or combines
+	// operators in a way the planner cannot execute.
+	ErrBadSyntax = errors.New("query: bad syntax")
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tWord
+	tPhrase
+	tSite
+	tNot
+	tAnd
+	tOr
+	tLParen
+	tRParen
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func (t token) name() string {
+	switch t.kind {
+	case tEOF:
+		return "end of query"
+	case tWord:
+		return fmt.Sprintf("%q", t.text)
+	case tPhrase:
+		return fmt.Sprintf("phrase %q", t.text)
+	case tSite:
+		return "site:" + t.text
+	case tNot:
+		return "'-'"
+	case tAnd:
+		return "AND"
+	case tOr:
+		return "OR"
+	case tLParen:
+		return "'('"
+	default:
+		return "')'"
+	}
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+// lex splits a query string into tokens. Operator words (OR, AND) must
+// be uppercase — lowercase "or"/"and" are stopwords and analyze away,
+// which keeps old flat queries meaning what they always meant. A '-'
+// negates only when it starts an atom; inside a word ("wind-turbine")
+// it is ordinary punctuation for the analyzer.
+func lex(s string) ([]token, error) {
+	toks := make([]token, 0, 8)
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case isSpace(c):
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tLParen})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tRParen})
+			i++
+		case c == '"':
+			end := strings.IndexByte(s[i+1:], '"')
+			if end < 0 {
+				return nil, fmt.Errorf("%w: unterminated quote", ErrBadSyntax)
+			}
+			toks = append(toks, token{kind: tPhrase, text: s[i+1 : i+1+end]})
+			i += end + 2
+		case c == '-':
+			if i+1 >= len(s) || isSpace(s[i+1]) || s[i+1] == ')' {
+				return nil, fmt.Errorf("%w: dangling '-'", ErrBadSyntax)
+			}
+			toks = append(toks, token{kind: tNot})
+			i++
+		default:
+			j := i
+			for j < len(s) && !isSpace(s[j]) && s[j] != '(' && s[j] != ')' && s[j] != '"' {
+				j++
+			}
+			word := s[i:j]
+			i = j
+			switch {
+			case word == "OR":
+				toks = append(toks, token{kind: tOr})
+			case word == "AND":
+				toks = append(toks, token{kind: tAnd})
+			case strings.HasPrefix(word, "site:"):
+				prefix := word[len("site:"):]
+				if prefix == "" {
+					return nil, fmt.Errorf("%w: empty site: filter", ErrBadSyntax)
+				}
+				toks = append(toks, token{kind: tSite, text: prefix})
+			default:
+				toks = append(toks, token{kind: tWord, text: word})
+			}
+		}
+	}
+	return append(toks, token{kind: tEOF}), nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() tokKind { return p.toks[p.pos].kind }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	p.pos++
+	return t
+}
+
+// Parse turns a query string into its AST root. Stopword-only atoms
+// drop out silently; if nothing searchable remains the error is
+// ErrEmptyQuery, and structural problems (unbalanced quotes or parens,
+// dangling operators, exclusion-only conjunctions, site: filters
+// without a positive term) return ErrBadSyntax.
+func Parse(s string) (*Node, error) {
+	toks, err := lex(s)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	root, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek() != tEOF {
+		return nil, fmt.Errorf("%w: unexpected %s", ErrBadSyntax, p.toks[p.pos].name())
+	}
+	if root == nil {
+		return nil, fmt.Errorf("%w: %q", ErrEmptyQuery, s)
+	}
+	if err := validate(root, true); err != nil {
+		return nil, err
+	}
+	return root, nil
+}
+
+func (p *parser) parseOr() (*Node, error) {
+	first, consumed, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	var kids []*Node
+	if first != nil {
+		kids = append(kids, first)
+	}
+	for p.peek() == tOr {
+		if !consumed {
+			return nil, fmt.Errorf("%w: OR missing left operand", ErrBadSyntax)
+		}
+		p.next()
+		right, rightConsumed, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		if !rightConsumed {
+			return nil, fmt.Errorf("%w: OR missing right operand", ErrBadSyntax)
+		}
+		if right != nil {
+			kids = append(kids, right)
+		}
+	}
+	switch len(kids) {
+	case 0:
+		return nil, nil
+	case 1:
+		return kids[0], nil
+	}
+	return &Node{Kind: KindOr, Kids: kids}, nil
+}
+
+// parseAnd parses a run of implicitly-ANDed unary atoms. consumed
+// reports whether any atom was syntactically present: an atom that
+// analyzes away (a stopword) yields a nil node but still counts, so
+// "the OR cats" stays valid while a bare "OR cats" does not.
+func (p *parser) parseAnd() (*Node, bool, error) {
+	var kids []*Node
+	consumed := false
+	pendingAnd := false
+	for {
+		switch p.peek() {
+		case tEOF, tOr, tRParen:
+			if pendingAnd {
+				return nil, false, fmt.Errorf("%w: dangling AND", ErrBadSyntax)
+			}
+			return andOf(kids), consumed, nil
+		case tAnd:
+			if !consumed || pendingAnd {
+				return nil, false, fmt.Errorf("%w: misplaced AND", ErrBadSyntax)
+			}
+			pendingAnd = true
+			p.next()
+		default:
+			n, err := p.parseUnary()
+			if err != nil {
+				return nil, false, err
+			}
+			consumed = true
+			pendingAnd = false
+			if n != nil {
+				kids = append(kids, n)
+			}
+		}
+	}
+}
+
+// andOf collapses a conjunction's kid list: nil for none, the single
+// kid unwrapped, otherwise a flattened AND node (nested ANDs from
+// parentheses or multi-term words fold in — same semantics, one level).
+func andOf(kids []*Node) *Node {
+	switch len(kids) {
+	case 0:
+		return nil
+	case 1:
+		return kids[0]
+	}
+	flat := make([]*Node, 0, len(kids))
+	for _, k := range kids {
+		if k.Kind == KindAnd {
+			flat = append(flat, k.Kids...)
+		} else {
+			flat = append(flat, k)
+		}
+	}
+	return &Node{Kind: KindAnd, Kids: flat}
+}
+
+func (p *parser) parseUnary() (*Node, error) {
+	if p.peek() == tNot {
+		p.next()
+		n, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		if n == nil {
+			return nil, nil // excluding a stopword excludes nothing
+		}
+		return &Node{Kind: KindNot, Kids: []*Node{n}}, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (*Node, error) {
+	tok := p.next()
+	switch tok.kind {
+	case tLParen:
+		n, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != tRParen {
+			return nil, fmt.Errorf("%w: missing ')'", ErrBadSyntax)
+		}
+		p.next()
+		return n, nil
+	case tPhrase:
+		return phraseNode(tok.text), nil
+	case tSite:
+		return &Node{Kind: KindSite, Prefix: tok.text}, nil
+	case tWord:
+		return wordNode(tok.text), nil
+	default:
+		return nil, fmt.Errorf("%w: unexpected %s", ErrBadSyntax, tok.name())
+	}
+}
+
+// wordNode analyzes one bare word. Punctuation can split it into
+// several terms ("wind-turbine" → wind, turbin) which conjoin, exactly
+// as the flat AND mode always treated them.
+func wordNode(word string) *Node {
+	terms := index.AnalyzeQuery(word)
+	switch len(terms) {
+	case 0:
+		return nil
+	case 1:
+		return &Node{Kind: KindTerm, Term: terms[0]}
+	}
+	kids := make([]*Node, len(terms))
+	for i, t := range terms {
+		kids[i] = &Node{Kind: KindTerm, Term: t}
+	}
+	return &Node{Kind: KindAnd, Kids: kids}
+}
+
+// phraseNode analyzes quoted text in order, keeping duplicates — the
+// positional matcher needs the exact term sequence. A one-term phrase
+// degrades to a plain term.
+func phraseNode(text string) *Node {
+	toks := index.Analyze(text)
+	switch len(toks) {
+	case 0:
+		return nil
+	case 1:
+		return &Node{Kind: KindTerm, Term: toks[0].Term}
+	}
+	terms := make([]string, len(toks))
+	for i, t := range toks {
+		terms[i] = t.Term
+	}
+	return &Node{Kind: KindPhrase, Terms: terms}
+}
+
+// validate enforces the structural rules the planner needs: exclusions
+// and site: filters only make sense as legs of a conjunction that also
+// has at least one positive (term or phrase) leg — there is no way to
+// enumerate "every document not matching X" from posting lists.
+func validate(n *Node, top bool) error {
+	switch n.Kind {
+	case KindTerm, KindPhrase:
+		return nil
+	case KindSite:
+		if top {
+			return fmt.Errorf("%w: site: filter needs at least one search term", ErrBadSyntax)
+		}
+		return nil
+	case KindNot:
+		if top {
+			return fmt.Errorf("%w: exclusion needs at least one positive term", ErrBadSyntax)
+		}
+		return validate(n.Kids[0], false)
+	case KindAnd:
+		positive := false
+		for _, k := range n.Kids {
+			if k.Kind != KindNot && k.Kind != KindSite {
+				positive = true
+			}
+			if err := validate(k, false); err != nil {
+				return err
+			}
+		}
+		if !positive {
+			return fmt.Errorf("%w: conjunction has only exclusions or filters", ErrBadSyntax)
+		}
+		return nil
+	case KindOr:
+		for _, k := range n.Kids {
+			if k.Kind == KindNot {
+				return fmt.Errorf("%w: OR operand cannot be an exclusion", ErrBadSyntax)
+			}
+			if k.Kind == KindSite {
+				return fmt.Errorf("%w: OR operand cannot be a site: filter", ErrBadSyntax)
+			}
+			if err := validate(k, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown node kind %d", ErrBadSyntax, int(n.Kind))
+	}
+}

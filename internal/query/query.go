@@ -1,0 +1,171 @@
+// Package query implements QueenBee's structured query language: a
+// lexer and recursive-descent parser that turn strings like
+//
+//	solar "wind turbine" OR panels -nuclear site:dweb://energy/
+//
+// into a small boolean AST (AND/OR/NOT, quoted phrases, site: prefix
+// filters) that the frontend planner compiles into an execution plan.
+//
+// The package is deliberately pure: it depends only on the analyzer —
+// so query terms stem exactly like document terms and the two sides can
+// never disagree — and it never touches the network or the index.
+//
+// Grammar (OR binds loosest, juxtaposition is AND, '-' negates one atom):
+//
+//	query  := or
+//	or     := and ( "OR" and )*
+//	and    := unary+            — implicit AND; an explicit "AND" token
+//	                              between atoms is accepted and ignored
+//	unary  := "-" atom | atom
+//	atom   := "(" or ")" | '"' words '"' | "site:" prefix | word
+//
+// Words are analyzed (lowercased, stop-filtered, stemmed) as they are
+// parsed; a word that analyzes to nothing (a stopword) simply drops out
+// of the tree. site: prefixes are kept verbatim — they filter result
+// URLs, which are never analyzed.
+package query
+
+import "strings"
+
+// Kind discriminates AST node types.
+type Kind int
+
+// AST node kinds.
+const (
+	// KindTerm matches documents containing one analyzed term.
+	KindTerm Kind = iota
+	// KindPhrase matches documents containing Terms at adjacent
+	// positions, in order.
+	KindPhrase
+	// KindAnd intersects its children; KindNot and KindSite children
+	// act as subtractive / filtering legs of the conjunction.
+	KindAnd
+	// KindOr unions its children.
+	KindOr
+	// KindNot excludes its single child's matches. Valid only as a
+	// direct child of a conjunction that has at least one positive leg.
+	KindNot
+	// KindSite keeps only results whose URL starts with Prefix. Valid
+	// only inside a conjunction (possibly under a KindNot).
+	KindSite
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindTerm:
+		return "term"
+	case KindPhrase:
+		return "phrase"
+	case KindAnd:
+		return "and"
+	case KindOr:
+		return "or"
+	case KindNot:
+		return "not"
+	case KindSite:
+		return "site"
+	default:
+		return "unknown"
+	}
+}
+
+// Node is one vertex of the boolean query AST.
+type Node struct {
+	Kind   Kind
+	Term   string   // KindTerm: the analyzed term
+	Terms  []string // KindPhrase: analyzed terms in phrase order
+	Prefix string   // KindSite: verbatim URL prefix
+	Kids   []*Node  // KindAnd, KindOr (≥2), KindNot (exactly 1)
+}
+
+// String renders the tree as a canonical s-expression — the stable form
+// the golden parser tests compare against.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.write(&b)
+	return b.String()
+}
+
+func (n *Node) write(b *strings.Builder) {
+	switch n.Kind {
+	case KindTerm:
+		b.WriteString(n.Term)
+	case KindPhrase:
+		b.WriteByte('"')
+		b.WriteString(strings.Join(n.Terms, " "))
+		b.WriteByte('"')
+	case KindSite:
+		b.WriteString("site:")
+		b.WriteString(n.Prefix)
+	case KindNot:
+		b.WriteString("(NOT ")
+		n.Kids[0].write(b)
+		b.WriteByte(')')
+	case KindAnd, KindOr:
+		if n.Kind == KindAnd {
+			b.WriteString("(AND")
+		} else {
+			b.WriteString("(OR")
+		}
+		for _, k := range n.Kids {
+			b.WriteByte(' ')
+			k.write(b)
+		}
+		b.WriteByte(')')
+	}
+}
+
+// Terms returns the distinct analyzed terms of the tree in depth-first
+// first-appearance order: all of them (these decide which index shards
+// to load), and the positive subset — terms not under an exclusion —
+// which drive scoring, ad matching and snippet highlighting.
+func Terms(root *Node) (all, positive []string) {
+	seenAll := make(map[string]bool, 8)
+	seenPos := make(map[string]bool, 8)
+	var walk func(n *Node, neg bool)
+	add := func(term string, neg bool) {
+		if !seenAll[term] {
+			seenAll[term] = true
+			all = append(all, term)
+		}
+		if !neg && !seenPos[term] {
+			seenPos[term] = true
+			positive = append(positive, term)
+		}
+	}
+	walk = func(n *Node, neg bool) {
+		switch n.Kind {
+		case KindTerm:
+			add(n.Term, neg)
+		case KindPhrase:
+			for _, t := range n.Terms {
+				add(t, neg)
+			}
+		case KindNot:
+			walk(n.Kids[0], true)
+		case KindAnd, KindOr:
+			for _, k := range n.Kids {
+				walk(k, neg)
+			}
+		}
+	}
+	walk(root, false)
+	return all, positive
+}
+
+// HasSite reports whether the tree contains a site: filter anywhere —
+// the executor resolves DocID→URL up front only when it does.
+func HasSite(root *Node) bool {
+	switch root.Kind {
+	case KindSite:
+		return true
+	case KindNot, KindAnd, KindOr:
+		for _, k := range root.Kids {
+			if HasSite(k) {
+				return true
+			}
+		}
+	}
+	return false
+}

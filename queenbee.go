@@ -2,6 +2,7 @@ package queenbee
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/chain"
 	"repro/internal/contracts"
@@ -98,42 +99,39 @@ func (e *Engine) RunUntilIdle() {
 }
 
 // Search answers a conjunctive (AND) keyword query with ranked results
-// and relevant ads.
+// and relevant ads. It is a thin wrapper over the Query builder's flat
+// All mode; use Query directly for boolean operators, exclusions,
+// site: filters, pagination and Explain.
 func (e *Engine) Search(query string, k int) ([]Result, []Ad, error) {
-	return e.search(query, core.SearchOptions{Mode: core.ModeAND, K: k})
+	return collapse(e.Query(query).All().Limit(k).Run())
 }
 
-// SearchAny returns documents matching any query term (OR semantics).
+// SearchAny returns documents matching any query term (OR semantics); a
+// thin wrapper over Query(...).Any().
 func (e *Engine) SearchAny(query string, k int) ([]Result, []Ad, error) {
-	return e.search(query, core.SearchOptions{Mode: core.ModeOR, K: k})
+	return collapse(e.Query(query).Any().Limit(k).Run())
 }
 
 // SearchPhrase returns documents containing the query terms as an exact
-// adjacent phrase (positional postings).
+// adjacent phrase (positional postings); a thin wrapper over
+// Query(...).Phrase().
 func (e *Engine) SearchPhrase(query string, k int) ([]Result, []Ad, error) {
-	return e.search(query, core.SearchOptions{Mode: core.ModePhrase, K: k})
+	return collapse(e.Query(query).Phrase().Limit(k).Run())
 }
 
 // SearchSnippets is Search with a text snippet extracted around the
-// first match of each result (costs extra content fetches).
+// first match of each result (costs extra content fetches); a thin
+// wrapper over Query(...).All().WithSnippets().
 func (e *Engine) SearchSnippets(query string, k int) ([]Result, []Ad, error) {
-	return e.search(query, core.SearchOptions{Mode: core.ModeAND, K: k, Snippets: true})
+	return collapse(e.Query(query).All().WithSnippets().Limit(k).Run())
 }
 
-func (e *Engine) search(query string, opts core.SearchOptions) ([]Result, []Ad, error) {
-	resp, err := e.frontend.SearchWith(query, opts)
+// collapse adapts a builder response to the legacy triple signature.
+func collapse(resp *Response, err error) ([]Result, []Ad, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	results := make([]Result, 0, len(resp.Results))
-	for _, r := range resp.Results {
-		results = append(results, Result{URL: r.URL, Score: r.Score, Rank: r.Rank, Snippet: r.Snippet})
-	}
-	ads := make([]Ad, 0, len(resp.Ads))
-	for _, a := range resp.Ads {
-		ads = append(ads, Ad{ID: a.ID, Keywords: a.Keywords, BidPerClick: a.BidPerClick})
-	}
-	return results, ads, nil
+	return resp.Results, resp.Ads, nil
 }
 
 // Fetch downloads and hash-verifies the content behind a search result.
@@ -183,15 +181,20 @@ func (e *Engine) RegisterAd(advertiser *Account, keywords []string, bidPerClick,
 	if r == nil || !r.OK {
 		return 0, fmt.Errorf("queenbee: register ad: %s", receiptErr(r))
 	}
-	// Ads are issued sequential IDs; find the newest matching campaign.
-	ads := e.Cluster.QB.AdsForTerms(keywords)
-	var id uint64
-	for _, ad := range ads {
-		if ad.ID > id {
-			id = ad.ID
+	// The campaign ID comes from the registration event the contract
+	// emitted for exactly this transaction — deterministic even when
+	// other registrations land in the same block.
+	for _, ev := range e.Cluster.Chain.EventsFor(tx.Hash()) {
+		if ev.Type != contracts.EventAdRegistered {
+			continue
 		}
+		id, err := strconv.ParseUint(ev.Attrs["ad"], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("queenbee: register ad: bad campaign id %q in event", ev.Attrs["ad"])
+		}
+		return id, nil
 	}
-	return id, nil
+	return 0, fmt.Errorf("queenbee: register ad: transaction emitted no registration event")
 }
 
 // Click records a paid click on an ad displayed on a result page. The
