@@ -2,8 +2,15 @@ package queenbee
 
 import (
 	"repro/internal/core"
+	"repro/internal/netsim"
 	"repro/internal/query"
 )
+
+// Cost is the simulated network expense of an operation: wall-clock
+// latency (parallel waves count their slowest leg, not the sum), bytes
+// moved and messages exchanged. Aggregate serving throughput is measured
+// against it — see BenchmarkConcurrentSearch and docs/serving.md.
+type Cost = netsim.Cost
 
 // Typed sentinel errors of the query surface. Match with errors.Is.
 var (
@@ -35,6 +42,8 @@ type Response struct {
 	// before pagination truncated to the requested page — ceil(Total /
 	// pageSize) is the page count.
 	Total int
+	// Cost is the simulated network expense of answering the query.
+	Cost Cost
 	// Explain is non-nil when the builder requested an execution trace.
 	Explain *Explain
 }
@@ -147,6 +156,7 @@ func (b *QueryBuilder) Run() (*Response, error) {
 		Results: make([]Result, 0, len(resp.Results)),
 		Ads:     make([]Ad, 0, len(resp.Ads)),
 		Total:   resp.Total,
+		Cost:    resp.Cost,
 		Explain: resp.Explain,
 	}
 	for _, r := range resp.Results {

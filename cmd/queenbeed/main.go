@@ -1,0 +1,331 @@
+// Command queenbeed serves a QueenBee deployment over HTTP: it boots the
+// simulated swarm, publishes a demo corpus through the smart contract,
+// lets the worker bees index and rank it, and then answers queries from
+// many concurrent clients against one shared engine — the serving shape
+// the paper's "stateless frontend" implies.
+//
+// Endpoints (all JSON):
+//
+//	GET /search?q=<query>[&page=N][&size=K][&mode=parsed|all|any|phrase][&snippets=1]
+//	GET /explain?q=<query>            — the compiled plan with per-node counts and costs
+//	GET /healthz                      — liveness, deployment summary, cache occupancy
+//
+// The default mode speaks the full structured query language (uppercase
+// OR/AND, '-' exclusions, "quoted phrases", site: URL-prefix filters,
+// parentheses — docs/query-language.md). Per-request limits (query
+// length, page size, handler timeout) keep one abusive client from
+// monopolizing the shared engine; see docs/serving.md.
+//
+// Usage:
+//
+//	queenbeed -addr :8080 -peers 24 -bees 6 -docs 60
+//	curl 'localhost:8080/search?q=decentralized+search&size=5'
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	queenbee "repro"
+	"repro/internal/corpus"
+)
+
+// limits are the per-request guardrails of the shared engine.
+type limits struct {
+	maxQueryBytes int
+	maxPageSize   int
+	timeout       time.Duration
+}
+
+func defaultLimits() limits {
+	return limits{maxQueryBytes: 1024, maxPageSize: 100, timeout: 5 * time.Second}
+}
+
+// server answers HTTP queries against one shared, concurrently-queried
+// engine. The engine must be fully built (published, indexed, ranked)
+// before serving starts: queries are concurrency-safe, mutations are not.
+type server struct {
+	engine *queenbee.Engine
+	lim    limits
+	start  time.Time
+}
+
+// newHandler wires the API routes, each wrapped in the request timeout.
+// The Content-Type is pre-set on the real response writer so the 503
+// body http.TimeoutHandler emits on timeout is also served as JSON (it
+// would otherwise be content-sniffed to text/plain on this all-JSON
+// API); handlers overwrite the header with the same value on the normal
+// path.
+func newHandler(e *queenbee.Engine, lim limits) http.Handler {
+	s := &server{engine: e, lim: lim, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /search", s.handleSearch)
+	mux.HandleFunc("GET /explain", s.handleExplain)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	inner := http.TimeoutHandler(mux, lim.timeout, `{"error":"request timed out"}`)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		inner.ServeHTTP(w, r)
+	})
+}
+
+// costJSON renders a simulated cost for API consumers.
+type costJSON struct {
+	Latency   string `json:"latency"`
+	LatencyUS int64  `json:"latency_us"`
+	Bytes     int64  `json:"bytes"`
+	Msgs      int    `json:"msgs"`
+}
+
+func costOf(c queenbee.Cost) costJSON {
+	return costJSON{
+		Latency:   c.Latency.String(),
+		LatencyUS: c.Latency.Microseconds(),
+		Bytes:     c.Bytes,
+		Msgs:      c.Msgs,
+	}
+}
+
+type resultJSON struct {
+	URL     string  `json:"url"`
+	Score   float64 `json:"score"`
+	Rank    float64 `json:"rank"`
+	Snippet string  `json:"snippet,omitempty"`
+}
+
+type adJSON struct {
+	ID          uint64   `json:"id"`
+	Keywords    []string `json:"keywords"`
+	BidPerClick uint64   `json:"bid_per_click"`
+}
+
+type searchJSON struct {
+	Query   string       `json:"query"`
+	Page    int          `json:"page"`
+	Size    int          `json:"size"`
+	Total   int          `json:"total"`
+	Results []resultJSON `json:"results"`
+	Ads     []adJSON     `json:"ads"`
+	Cost    costJSON     `json:"cost"`
+}
+
+// buildQuery validates the request parameters and assembles the builder,
+// or replies with a 400 and returns nil.
+func (s *server) buildQuery(w http.ResponseWriter, r *http.Request) (*queenbee.QueryBuilder, int, int) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeErr(w, http.StatusBadRequest, "missing q parameter")
+		return nil, 0, 0
+	}
+	if len(q) > s.lim.maxQueryBytes {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("query exceeds %d bytes", s.lim.maxQueryBytes))
+		return nil, 0, 0
+	}
+	page, ok := intParam(w, r, "page", 1, 1, 1<<20)
+	if !ok {
+		return nil, 0, 0
+	}
+	size, ok := intParam(w, r, "size", 10, 1, s.lim.maxPageSize)
+	if !ok {
+		return nil, 0, 0
+	}
+	b := s.engine.Query(q)
+	switch mode := r.URL.Query().Get("mode"); mode {
+	case "", "parsed":
+	case "all":
+		b = b.All()
+	case "any":
+		b = b.Any()
+	case "phrase":
+		b = b.Phrase()
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown mode %q", mode))
+		return nil, 0, 0
+	}
+	b = b.Page(page, size)
+	if r.URL.Query().Get("snippets") == "1" {
+		b = b.WithSnippets()
+	}
+	return b, page, size
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	b, page, size := s.buildQuery(w, r)
+	if b == nil {
+		return
+	}
+	resp, err := b.Run()
+	if err != nil {
+		writeQueryErr(w, err)
+		return
+	}
+	out := searchJSON{
+		Query:   r.URL.Query().Get("q"),
+		Page:    page,
+		Size:    size,
+		Total:   resp.Total,
+		Results: make([]resultJSON, 0, len(resp.Results)),
+		Ads:     make([]adJSON, 0, len(resp.Ads)),
+		Cost:    costOf(resp.Cost),
+	}
+	for _, res := range resp.Results {
+		out.Results = append(out.Results, resultJSON{URL: res.URL, Score: res.Score, Rank: res.Rank, Snippet: res.Snippet})
+	}
+	for _, ad := range resp.Ads {
+		out.Ads = append(out.Ads, adJSON{ID: ad.ID, Keywords: ad.Keywords, BidPerClick: ad.BidPerClick})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type explainJSON struct {
+	Query      string                `json:"query"`
+	Mode       string                `json:"mode"`
+	Terms      []string              `json:"terms"`
+	Shards     []int                 `json:"shards"`
+	Plan       *queenbee.ExplainNode `json:"plan"`
+	Candidates int                   `json:"candidates"`
+	Returned   int                   `json:"returned"`
+	Costs      map[string]costJSON   `json:"costs"`
+	Rendered   string                `json:"rendered"`
+}
+
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	b, _, _ := s.buildQuery(w, r)
+	if b == nil {
+		return
+	}
+	resp, err := b.Explain().Run()
+	if err != nil {
+		writeQueryErr(w, err)
+		return
+	}
+	ex := resp.Explain
+	writeJSON(w, http.StatusOK, explainJSON{
+		Query:      ex.Query,
+		Mode:       ex.Mode,
+		Terms:      ex.Terms,
+		Shards:     ex.Shards,
+		Plan:       ex.Plan,
+		Candidates: ex.Candidates,
+		Returned:   ex.Returned,
+		Costs: map[string]costJSON{
+			"load":    costOf(ex.LoadCost),
+			"snippet": costOf(ex.SnippetCost),
+			"total":   costOf(ex.TotalCost),
+		},
+		Rendered: ex.String(),
+	})
+}
+
+type healthJSON struct {
+	Status  string              `json:"status"`
+	Uptime  string              `json:"uptime"`
+	Pages   int                 `json:"pages"`
+	Height  uint64              `json:"height"`
+	Workers int                 `json:"workers"`
+	Cache   queenbee.CacheStats `json:"cache"`
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	sum := s.engine.Stats()
+	writeJSON(w, http.StatusOK, healthJSON{
+		Status:  "ok",
+		Uptime:  time.Since(s.start).Round(time.Millisecond).String(),
+		Pages:   sum.Pages,
+		Height:  sum.Height,
+		Workers: sum.Workers,
+		Cache:   s.engine.CacheStats(),
+	})
+}
+
+// intParam parses an optional integer query parameter within [min, max].
+func intParam(w http.ResponseWriter, r *http.Request, name string, def, min, max int) (int, bool) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, true
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < min || v > max {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("%s must be an integer in [%d, %d]", name, min, max))
+		return 0, false
+	}
+	return v, true
+}
+
+// writeQueryErr maps query-surface errors onto HTTP statuses: malformed
+// queries are the client's fault, an unreachable index shard is a
+// (retryable) server-side condition.
+func writeQueryErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, queenbee.ErrEmptyQuery), errors.Is(err, queenbee.ErrBadSyntax):
+		writeErr(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, queenbee.ErrShardUnavailable):
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeErr(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// buildEngine boots the deployment and indexes the demo corpus — the
+// write side runs to completion before the first query is served.
+func buildEngine(seed uint64, peers, bees, docs int) *queenbee.Engine {
+	engine := queenbee.New(
+		queenbee.WithSeed(seed),
+		queenbee.WithPeers(peers),
+		queenbee.WithBees(bees),
+	)
+	creator := engine.NewAccount("creator", 1_000_000)
+	ccfg := corpus.DefaultConfig()
+	ccfg.Seed = seed
+	ccfg.NumDocs = docs
+	corp := corpus.Generate(ccfg)
+	for _, d := range corp.Docs {
+		if err := engine.Publish(creator, d.URL, d.Text, d.Links); err != nil {
+			log.Fatalf("publish %s: %v", d.URL, err)
+		}
+	}
+	engine.RunUntilIdle()
+	engine.ComputeRanks(4)
+	return engine
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	peers := flag.Int("peers", 16, "DWeb devices in the swarm")
+	bees := flag.Int("bees", 4, "worker bees")
+	docs := flag.Int("docs", 40, "synthetic pages to publish before serving")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	maxQuery := flag.Int("max-query-bytes", 1024, "reject queries longer than this")
+	maxPage := flag.Int("max-page-size", 100, "largest size= a request may ask for")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request handler timeout")
+	flag.Parse()
+
+	log.Printf("booting QueenBee swarm: %d peers, %d bees, %d docs (seed %d)…", *peers, *bees, *docs, *seed)
+	engine := buildEngine(*seed, *peers, *bees, *docs)
+	sum := engine.Stats()
+	log.Printf("index ready: %d pages, chain height %d, %d active bees", sum.Pages, sum.Height, sum.Workers)
+
+	lim := limits{maxQueryBytes: *maxQuery, maxPageSize: *maxPage, timeout: *timeout}
+	log.Printf("queenbeed listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, newHandler(engine, lim)); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// testHandler builds one small indexed deployment shared by every
+// subtest (engine boot dominates test time). testTerm is a vocabulary
+// word guaranteed to appear in the corpus (the most frequent one).
+var (
+	handlerOnce sync.Once
+	testH       http.Handler
+	testTerm    string
+)
+
+func serverHandler(t *testing.T) http.Handler {
+	t.Helper()
+	handlerOnce.Do(func() {
+		engine := buildEngine(1, 10, 3, 12)
+		testH = newHandler(engine, defaultLimits())
+		ccfg := corpus.DefaultConfig()
+		ccfg.Seed = 1
+		ccfg.NumDocs = 12
+		testTerm = corpus.Generate(ccfg).Vocab(0)
+	})
+	return testH
+}
+
+func getJSON(t *testing.T, h http.Handler, url string, wantStatus int, into any) {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != wantStatus {
+		t.Fatalf("GET %s = %d (%s), want %d", url, rec.Code, rec.Body.String(), wantStatus)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("GET %s content-type = %q", url, ct)
+	}
+	if into != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), into); err != nil {
+			t.Fatalf("GET %s: bad JSON %q: %v", url, rec.Body.String(), err)
+		}
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	h := serverHandler(t)
+	var out searchJSON
+	getJSON(t, h, "/search?q="+testTerm+"&size=5", http.StatusOK, &out)
+	if out.Total == 0 || len(out.Results) == 0 {
+		t.Fatalf("search returned nothing: %+v", out)
+	}
+	if len(out.Results) > 5 {
+		t.Fatalf("size=5 returned %d results", len(out.Results))
+	}
+	if out.Cost.Msgs == 0 {
+		t.Fatalf("search response carries no simulated cost: %+v", out.Cost)
+	}
+	for _, r := range out.Results {
+		if !strings.HasPrefix(r.URL, "dweb://") {
+			t.Fatalf("result URL %q not a dweb address", r.URL)
+		}
+	}
+}
+
+func TestSearchPaginationTiles(t *testing.T) {
+	h := serverHandler(t)
+	var full searchJSON
+	getJSON(t, h, "/search?q="+testTerm+"&size=10", http.StatusOK, &full)
+	if len(full.Results) < 4 {
+		t.Skipf("corpus too small for pagination test: %d hits", len(full.Results))
+	}
+	var p1, p2 searchJSON
+	getJSON(t, h, "/search?q="+testTerm+"&page=1&size=2", http.StatusOK, &p1)
+	getJSON(t, h, "/search?q="+testTerm+"&page=2&size=2", http.StatusOK, &p2)
+	got := append(append([]resultJSON{}, p1.Results...), p2.Results...)
+	for i, r := range got {
+		if r.URL != full.Results[i].URL {
+			t.Fatalf("page tiling broke at %d: %q vs %q", i, r.URL, full.Results[i].URL)
+		}
+	}
+}
+
+func TestSearchModesAndSnippets(t *testing.T) {
+	h := serverHandler(t)
+	for _, mode := range []string{"parsed", "all", "any", "phrase"} {
+		getJSON(t, h, "/search?q="+testTerm+"&mode="+mode, http.StatusOK, &searchJSON{})
+	}
+	var snip searchJSON
+	getJSON(t, h, "/search?q="+testTerm+"&size=2&snippets=1", http.StatusOK, &snip)
+	if len(snip.Results) > 0 && snip.Results[0].Snippet == "" {
+		t.Fatalf("snippets=1 returned no snippet: %+v", snip.Results[0])
+	}
+}
+
+func TestSearchRejectsBadRequests(t *testing.T) {
+	h := serverHandler(t)
+	cases := []string{
+		"/search",                                // missing q
+		"/search?q=" + strings.Repeat("x", 2000), // too long
+		"/search?q=" + testTerm + "&size=0",      // below min
+		"/search?q=" + testTerm + "&size=1000",   // above max-page-size
+		"/search?q=" + testTerm + "&page=zero",   // not an integer
+		"/search?q=" + testTerm + "&mode=fuzzy",  // unknown mode
+		"/search?q=-only",                        // exclusion-only: bad syntax
+		"/search?q=the+of",                       // stopwords only: empty query
+	}
+	for _, url := range cases {
+		var e map[string]string
+		getJSON(t, h, url, http.StatusBadRequest, &e)
+		if e["error"] == "" {
+			t.Fatalf("%s: no error message in body", url)
+		}
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	h := serverHandler(t)
+	var out explainJSON
+	getJSON(t, h, "/explain?q="+testTerm, http.StatusOK, &out)
+	if out.Plan == nil || len(out.Shards) == 0 {
+		t.Fatalf("explain missing plan/shards: %+v", out)
+	}
+	if out.Costs["total"].Msgs == 0 {
+		t.Fatalf("explain missing total cost: %+v", out.Costs)
+	}
+	if !strings.Contains(out.Rendered, "plan") {
+		t.Fatalf("rendered plan = %q", out.Rendered)
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	h := serverHandler(t)
+	var out healthJSON
+	getJSON(t, h, "/healthz", http.StatusOK, &out)
+	if out.Status != "ok" || out.Pages == 0 || out.Workers == 0 {
+		t.Fatalf("healthz = %+v", out)
+	}
+	if out.Cache.SegBudget == 0 || out.Cache.ChainBudget == 0 {
+		t.Fatalf("healthz missing cache budgets: %+v", out.Cache)
+	}
+}
+
+// canonicalSearch re-encodes a /search body with its cost zeroed:
+// per-message jitter advances the link streams, so the simulated cost of
+// a repeat query legitimately differs call to call — the *results* may
+// not.
+func canonicalSearch(t *testing.T, body []byte) string {
+	t.Helper()
+	var out searchJSON
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("bad search JSON %q: %v", body, err)
+	}
+	out.Cost = costJSON{}
+	enc, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(enc)
+}
+
+// TestConcurrentRequestsConsistent hammers the shared engine from many
+// client goroutines and asserts every response carries results identical
+// to the sequential baseline — the serving-side face of the determinism
+// soak (costs are excluded: jitter draws advance per message by design).
+func TestConcurrentRequestsConsistent(t *testing.T) {
+	h := serverHandler(t)
+	urls := []string{
+		"/search?q=" + testTerm + "&size=5",
+		"/search?q=" + testTerm + "&mode=any&size=3",
+		"/search?q=" + testTerm + "&page=2&size=2",
+	}
+	want := make(map[string]string, len(urls))
+	for _, u := range urls {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", u, nil))
+		want[u] = canonicalSearch(t, rec.Body.Bytes())
+	}
+	const clients = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				u := urls[(c+i)%len(urls)]
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("GET", u, nil))
+				if rec.Code != http.StatusOK {
+					t.Errorf("client %d: GET %s = %d", c, u, rec.Code)
+					return
+				}
+				if got := canonicalSearch(t, rec.Body.Bytes()); got != want[u] {
+					t.Errorf("client %d: GET %s results diverged:\n got %s\nwant %s", c, u, got, want[u])
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}

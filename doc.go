@@ -59,4 +59,20 @@
 // deterministic per seed). Ranking selects the top k results with a bounded
 // min-heap instead of sorting every candidate. Segment encoding remains
 // byte-deterministic, which commit–reveal task verification depends on.
+//
+// # Concurrent serving
+//
+// The query side is safe for concurrent use, and concurrency costs no
+// reproducibility: the network simulation derives an independent RNG
+// stream per (caller, target) link, so the same seed yields the same
+// results whether queries run one at a time or raced across goroutines
+// (docs/serving.md has the design; WithSharedNetStream restores the
+// legacy single-stream draws for golden-cost comparisons). Shard waves
+// execute as true goroutine fan-outs, concurrent fetches of the same
+// segment digest collapse into one DHT read (singleflight), and both
+// frontend caches are byte-budgeted LRUs (WithCacheBudget) so a
+// long-lived serving deployment stays bounded under publish churn.
+// cmd/queenbeed serves /search, /explain and /healthz over HTTP against
+// one shared engine on exactly this contract; write-side methods remain
+// a single deterministic driver.
 package queenbee

@@ -1,0 +1,104 @@
+package core
+
+import "container/list"
+
+// lruCache is a byte-budgeted LRU used for the frontend's segment and
+// chain caches, modeled on store/blockstore.go: entries carry an explicit
+// byte size, inserts evict least-recently-used entries until the budget
+// holds, and an entry larger than the whole budget is simply not admitted
+// (the caller re-fetches; memory stays bounded). The zero budget means
+// "cache nothing". It is NOT internally locked: the owning Frontend
+// serializes access under its own mutex.
+type lruCache[K comparable, V any] struct {
+	budget  int64
+	used    int64
+	entries map[K]*list.Element
+	order   *list.List // front = most recently used
+
+	hits, misses int64
+}
+
+type lruEntry[K comparable, V any] struct {
+	key   K
+	value V
+	size  int64
+}
+
+func newLRUCache[K comparable, V any](budget int64) *lruCache[K, V] {
+	return &lruCache[K, V]{
+		budget:  budget,
+		entries: make(map[K]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// get returns the cached value and refreshes its recency.
+func (c *lruCache[K, V]) get(key K) (V, bool) {
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		return el.Value.(lruEntry[K, V]).value, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// peek returns the cached value without touching recency or counters —
+// for callers whose hit condition is richer than key presence (the chain
+// cache validates the digest chain too) and account hits/misses
+// themselves via promote/drop and the counter fields.
+func (c *lruCache[K, V]) peek(key K) (V, bool) {
+	if el, ok := c.entries[key]; ok {
+		return el.Value.(lruEntry[K, V]).value, true
+	}
+	var zero V
+	return zero, false
+}
+
+// promote refreshes an entry's recency.
+func (c *lruCache[K, V]) promote(key K) {
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+	}
+}
+
+// drop removes an entry (no-op when absent).
+func (c *lruCache[K, V]) drop(key K) {
+	if el, ok := c.entries[key]; ok {
+		c.remove(el)
+	}
+}
+
+// add inserts or replaces an entry and evicts until the budget holds. It
+// reports whether the entry was admitted (false only when size exceeds
+// the entire budget).
+func (c *lruCache[K, V]) add(key K, value V, size int64) bool {
+	if el, ok := c.entries[key]; ok {
+		c.remove(el)
+	}
+	if size > c.budget {
+		return false
+	}
+	for c.used+size > c.budget {
+		oldest := c.order.Back()
+		if oldest == nil {
+			break
+		}
+		c.remove(oldest)
+	}
+	el := c.order.PushFront(lruEntry[K, V]{key: key, value: value, size: size})
+	c.entries[key] = el
+	c.used += size
+	return true
+}
+
+func (c *lruCache[K, V]) remove(el *list.Element) {
+	ent := el.Value.(lruEntry[K, V])
+	c.order.Remove(el)
+	delete(c.entries, ent.key)
+	c.used -= ent.size
+}
+
+func (c *lruCache[K, V]) len() int     { return len(c.entries) }
+func (c *lruCache[K, V]) bytes() int64 { return c.used }

@@ -41,25 +41,42 @@ type Config struct {
 	// RankWeight blends page rank into query scores.
 	RankWeight float64
 
+	// SegCacheBytes bounds each frontend's per-digest segment cache;
+	// ChainCacheBytes bounds its per-shard merged-chain cache. Publish
+	// churn retires digests and chains, so both are LRU-evicted against
+	// these budgets. Zero selects the defaults below.
+	SegCacheBytes   int64
+	ChainCacheBytes int64
+
 	Net      netsim.Config
 	DHT      dht.Config
 	Peer     store.PeerConfig
 	Contract contracts.Config
 }
 
+// Default frontend cache budgets: enough for every simulated corpus to
+// stay fully warm, small enough that a browser-grade device could donate
+// them.
+const (
+	DefaultSegCacheBytes   = 32 << 20
+	DefaultChainCacheBytes = 32 << 20
+)
+
 // DefaultConfig returns a small, fast deployment.
 func DefaultConfig() Config {
 	return Config{
-		Seed:          1,
-		NumPeers:      16,
-		NumBees:       4,
-		NumShards:     8,
-		BlockInterval: 5 * time.Second,
-		RankWeight:    1.0,
-		Net:           netsim.DefaultConfig(),
-		DHT:           dht.DefaultConfig(),
-		Peer:          store.DefaultPeerConfig(),
-		Contract:      contracts.DefaultConfig(),
+		Seed:            1,
+		NumPeers:        16,
+		NumBees:         4,
+		NumShards:       8,
+		BlockInterval:   5 * time.Second,
+		RankWeight:      1.0,
+		SegCacheBytes:   DefaultSegCacheBytes,
+		ChainCacheBytes: DefaultChainCacheBytes,
+		Net:             netsim.DefaultConfig(),
+		DHT:             dht.DefaultConfig(),
+		Peer:            store.DefaultPeerConfig(),
+		Contract:        contracts.DefaultConfig(),
 	}
 }
 
@@ -97,6 +114,12 @@ func NewCluster(cfg Config) *Cluster {
 	}
 	if cfg.BlockInterval <= 0 {
 		cfg.BlockInterval = 5 * time.Second
+	}
+	if cfg.SegCacheBytes <= 0 {
+		cfg.SegCacheBytes = DefaultSegCacheBytes
+	}
+	if cfg.ChainCacheBytes <= 0 {
+		cfg.ChainCacheBytes = DefaultChainCacheBytes
 	}
 	cfg.Net.Seed = cfg.Seed + 1
 

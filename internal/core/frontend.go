@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dht"
 	"repro/internal/index"
@@ -16,34 +18,88 @@ import (
 // matched inverted lists, ranking the results, and displaying relevant
 // ads." It is a stateless client of the DHT and the chain: it owns a DWeb
 // peer for reads and caches immutable segments by content address.
+//
+// Queries (Search*, Execute) are safe for concurrent use and, with the
+// default per-link netsim streams, same-seed results are byte-identical
+// whether queries run sequentially or raced across goroutines (see
+// docs/serving.md). Both caches are byte-budgeted LRUs so a long-lived
+// serving frontend stays bounded under publish churn, and concurrent
+// queries needing the same segment digest share one DHT fetch
+// (singleflight) instead of issuing duplicates.
 type Frontend struct {
 	cluster *Cluster
 	peer    *store.Peer
 
-	mu         sync.Mutex
-	segCache   map[string]*index.Segment // digest → segment (immutable)
-	chainCache map[int]chainEntry        // shard → merged view of its segment chain
-	docURL     map[index.DocID]string
-	docURLGen  int // page count when docURL was built
+	mu          sync.Mutex
+	segCache    *lruCache[string, *index.Segment] // digest → segment (immutable)
+	chainCache  *lruCache[int, chainEntry]        // shard → merged view of its segment chain
+	segFlight   map[string]*segFetch              // digest → in-flight DHT fetch
+	chainFlight map[int]*chainFetch               // shard → in-flight chain rebuild
+	docURL      map[index.DocID]string
+	docURLGen   int // page count when docURL was built
 
-	stats    IndexStats
-	statsGen int // page count when stats were fetched
+	stats        IndexStats
+	statsGen     int // page count when stats were fetched; -1 before the first fetch
+	statsFlight  *statsFetch
+	statsFetches int64
 
-	// UseGallopIntersection selects the intersection kernel (A1).
-	UseGallopIntersection bool
+	// gallop selects the intersection kernel (A1); queries snapshot it at
+	// start, so flipping it mid-flight never races an executing plan.
+	gallop atomic.Bool
+}
+
+// segFetch is one in-flight segment download; duplicate requesters block
+// on done and share the result.
+type segFetch struct {
+	done chan struct{}
+	seg  *index.Segment
+	cost netsim.Cost
+	err  error
+}
+
+// statsFetch is one in-flight stats read, singleflighted like segments.
+type statsFetch struct {
+	done chan struct{}
+	st   IndexStats
+	cost netsim.Cost
+}
+
+// chainFetch is one in-flight chain rebuild (segment fetches + merge)
+// for a shard. Concurrent queries that resolved the same digest chain
+// share it: the segment fetches already dedup via segFlight, but the
+// merge itself is the expensive decode-everything step worth running
+// once, not once per racing query.
+type chainFetch struct {
+	key  string // the digest chain being built
+	done chan struct{}
+	seg  *index.Segment
+	cost netsim.Cost // segment fetches; excludes each caller's own pointer read
+	err  error
 }
 
 // NewFrontend attaches a frontend to one DWeb peer of the cluster.
 func NewFrontend(c *Cluster, peer *store.Peer) *Frontend {
-	return &Frontend{
-		cluster:               c,
-		peer:                  peer,
-		segCache:              make(map[string]*index.Segment),
-		chainCache:            make(map[int]chainEntry),
-		docURL:                make(map[index.DocID]string),
-		UseGallopIntersection: true,
+	f := &Frontend{
+		cluster:     c,
+		peer:        peer,
+		segCache:    newLRUCache[string, *index.Segment](c.cfg.SegCacheBytes),
+		chainCache:  newLRUCache[int, chainEntry](c.cfg.ChainCacheBytes),
+		segFlight:   make(map[string]*segFetch),
+		chainFlight: make(map[int]*chainFetch),
+		docURL:      make(map[index.DocID]string),
+		statsGen:    -1,
 	}
+	f.gallop.Store(true)
+	return f
 }
+
+// SetUseGallopIntersection selects the intersection kernel (ablation A1).
+// Safe while queries are in flight: each query snapshots the option when
+// it starts executing.
+func (f *Frontend) SetUseGallopIntersection(on bool) { f.gallop.Store(on) }
+
+// UseGallopIntersection reports the currently selected kernel.
+func (f *Frontend) UseGallopIntersection() bool { return f.gallop.Load() }
 
 // chainEntry caches the merged view of one shard's segment chain, keyed by
 // the exact digest chain it was built from. The entry stays valid until
@@ -188,6 +244,42 @@ func (f *Frontend) scoreAndCompose(resp *SearchResponse, terms []string,
 	}
 }
 
+// fetchSegment returns the immutable segment for a digest: LRU cache
+// first, then one shared DHT fetch. Concurrent requests for the same
+// digest singleflight — duplicates block until the leader's fetch lands
+// and share its result and cost (they observed the same simulated wall
+// time; the bytes moved on the wire only once and are counted once in the
+// network's global stats).
+func (f *Frontend) fetchSegment(digest string) (*index.Segment, netsim.Cost, error) {
+	f.mu.Lock()
+	if seg, ok := f.segCache.get(digest); ok {
+		f.mu.Unlock()
+		return seg, netsim.Cost{}, nil
+	}
+	if fl, ok := f.segFlight[digest]; ok {
+		f.mu.Unlock()
+		<-fl.done
+		return fl.seg, fl.cost, fl.err
+	}
+	fl := &segFetch{done: make(chan struct{})}
+	f.segFlight[digest] = fl
+	f.mu.Unlock()
+
+	fl.seg, fl.cost, fl.err = readSegment(f.peer.DHT(), digest)
+	var size int64
+	if fl.err == nil {
+		size = fl.seg.SizeBytes()
+	}
+	f.mu.Lock()
+	delete(f.segFlight, digest)
+	if fl.err == nil {
+		f.segCache.add(digest, fl.seg, size)
+	}
+	f.mu.Unlock()
+	close(fl.done)
+	return fl.seg, fl.cost, fl.err
+}
+
 // loadShard fetches a shard's segment chain and returns its merged view.
 // Two cache layers keep warm queries cheap: segments are immutable and
 // cached per digest, and the merged chain is cached per shard keyed by the
@@ -204,58 +296,100 @@ func (f *Frontend) loadShard(shard int) (*index.Segment, netsim.Cost, error) {
 	}
 	key := strings.Join(ptr.Digests, ",")
 	f.mu.Lock()
-	if ce, ok := f.chainCache[shard]; ok && ce.key == key {
+	ce, cached := f.chainCache.peek(shard)
+	switch {
+	case cached && ce.key == key:
+		f.chainCache.hits++
+		f.chainCache.promote(shard)
 		f.mu.Unlock()
 		return ce.seg, cost, nil
+	case cached:
+		// The shard head moved on: a real miss, and the stale view must
+		// neither serve nor outlive genuinely warm entries.
+		f.chainCache.misses++
+		f.chainCache.drop(shard)
+	default:
+		f.chainCache.misses++
 	}
+	if fl, ok := f.chainFlight[shard]; ok && fl.key == key {
+		f.mu.Unlock()
+		<-fl.done
+		return fl.seg, cost.Seq(fl.cost), fl.err
+	}
+	fl := &chainFetch{key: key, done: make(chan struct{})}
+	f.chainFlight[shard] = fl
 	f.mu.Unlock()
+
 	segs := make([]*index.Segment, 0, len(ptr.Digests))
 	for _, digest := range ptr.Digests {
-		f.mu.Lock()
-		seg, ok := f.segCache[digest]
-		f.mu.Unlock()
-		if !ok {
-			var c2 netsim.Cost
-			seg, c2, err = readSegment(f.peer.DHT(), digest)
-			cost = cost.Seq(c2)
-			if err != nil {
-				return nil, cost, err
-			}
-			f.mu.Lock()
-			f.segCache[digest] = seg
-			f.mu.Unlock()
+		seg, c2, err := f.fetchSegment(digest)
+		fl.cost = fl.cost.Seq(c2)
+		if err != nil {
+			fl.err = err
+			break
 		}
 		segs = append(segs, seg)
 	}
-	merged := index.Merge(segs)
+	var size int64
+	if fl.err == nil {
+		fl.seg = index.Merge(segs)
+		size = fl.seg.SizeBytes()
+	}
 	f.mu.Lock()
-	f.chainCache[shard] = chainEntry{key: key, seg: merged}
+	if f.chainFlight[shard] == fl {
+		delete(f.chainFlight, shard)
+	}
+	if fl.err == nil {
+		f.chainCache.add(shard, chainEntry{key: key, seg: fl.seg}, size)
+	}
 	f.mu.Unlock()
-	return merged, cost, nil
+	close(fl.done)
+	return fl.seg, cost.Seq(fl.cost), fl.err
 }
 
 // loadShards resolves a query's distinct shards as one concurrent fetch
-// wave: a real frontend issues the independent DHT lookups at once, so
-// the modeled cost is the Par combination — the slowest shard, not the
-// sum. Execution itself stays sequential (in shard order) because the
-// network simulation draws jitter and drop decisions from one seeded
-// RNG; racing goroutines would reorder those draws and break the per-seed
-// reproducibility the whole harness promises. Returns the first error
-// encountered, if any.
+// wave: the independent DHT lookups run on their own goroutines, and the
+// per-link netsim streams keep same-seed results reproducible no matter
+// how the fetches interleave. The wave's cost folds Par in shard order —
+// the slowest shard, not the sum. When the network runs the legacy
+// shared RNG stream (or the wave has one shard), execution stays
+// sequential so historical golden costs cannot shift.
+//
+// On failure every fetch was still in flight, so the full wave cost is
+// reported alongside a nil map and the error of the lowest-indexed
+// failing shard — Explain's shard-wave accounting stays consistent for
+// failed waves (asserted in plan_test.go).
 func (f *Frontend) loadShards(shards []int) (map[int]*index.Segment, netsim.Cost, error) {
+	segs := make([]*index.Segment, len(shards))
+	costs := make([]netsim.Cost, len(shards))
+	errs := make([]error, len(shards))
+	if len(shards) <= 1 || f.cluster.Net.SharedStream() {
+		for i, shard := range shards {
+			segs[i], costs[i], errs[i] = f.loadShard(shard)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, shard := range shards {
+			wg.Add(1)
+			go func(i, shard int) {
+				defer wg.Done()
+				segs[i], costs[i], errs[i] = f.loadShard(shard)
+			}(i, shard)
+		}
+		wg.Wait()
+	}
 	out := make(map[int]*index.Segment, len(shards))
 	var cost netsim.Cost
 	var firstErr error
-	for _, shard := range shards {
-		seg, c, err := f.loadShard(shard)
-		cost = cost.Par(c)
-		if err != nil {
+	for i := range shards {
+		cost = cost.Par(costs[i])
+		if errs[i] != nil {
 			if firstErr == nil {
-				firstErr = err
+				firstErr = fmt.Errorf("shard %d: %w", shards[i], errs[i])
 			}
 			continue
 		}
-		out[shard] = seg
+		out[shards[i]] = segs[i]
 	}
 	if firstErr != nil {
 		return nil, cost, firstErr
@@ -264,21 +398,68 @@ func (f *Frontend) loadShards(shards []int) (map[int]*index.Segment, netsim.Cost
 }
 
 // cachedStats returns the collection statistics, re-reading from the DHT
-// only when the registered page count changed since the last fetch.
+// only when the registered page count changed since the last fetch. The
+// fetched state is an explicit generation (-1 = never fetched), not a
+// "Docs > 0" sentinel — an empty corpus is a valid cached answer, not a
+// reason to hit the DHT on every query.
+// Concurrent queries arriving on a stale generation share one DHT read
+// (the same singleflight shape as fetchSegment).
 func (f *Frontend) cachedStats() (IndexStats, netsim.Cost) {
 	n := f.cluster.QB.PageCount()
 	f.mu.Lock()
-	if n == f.statsGen && f.stats.Docs > 0 {
+	if n == f.statsGen {
 		st := f.stats
 		f.mu.Unlock()
 		return st, netsim.Cost{}
 	}
+	if fl := f.statsFlight; fl != nil {
+		f.mu.Unlock()
+		<-fl.done
+		return fl.st, fl.cost
+	}
+	fl := &statsFetch{done: make(chan struct{})}
+	f.statsFlight = fl
 	f.mu.Unlock()
-	st, cost := readStats(f.peer.DHT())
+	fl.st, fl.cost = readStats(f.peer.DHT())
 	f.mu.Lock()
-	f.stats, f.statsGen = st, n
+	f.stats, f.statsGen = fl.st, n
+	f.statsFlight = nil
+	f.statsFetches++
 	f.mu.Unlock()
-	return st, cost
+	close(fl.done)
+	return fl.st, fl.cost
+}
+
+// CacheStats is a point-in-time snapshot of the frontend's caches.
+type CacheStats struct {
+	SegBytes, SegBudget     int64
+	SegEntries              int
+	SegHits, SegMisses      int64
+	ChainBytes, ChainBudget int64
+	ChainEntries            int
+	ChainHits, ChainMisses  int64
+	StatsFetches            int64
+}
+
+// CacheStatsSnapshot reports cache occupancy and traffic counters —
+// queenbeed's /healthz surfaces it, and the churn tests assert the
+// byte budgets hold.
+func (f *Frontend) CacheStatsSnapshot() CacheStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return CacheStats{
+		SegBytes:     f.segCache.bytes(),
+		SegBudget:    f.segCache.budget,
+		SegEntries:   f.segCache.len(),
+		SegHits:      f.segCache.hits,
+		SegMisses:    f.segCache.misses,
+		ChainBytes:   f.chainCache.bytes(),
+		ChainBudget:  f.chainCache.budget,
+		ChainEntries: f.chainCache.len(),
+		ChainHits:    f.chainCache.hits,
+		ChainMisses:  f.chainCache.misses,
+		StatsFetches: f.statsFetches,
+	}
 }
 
 // refreshDocURLs rebuilds the DocID→URL map when new pages registered.

@@ -165,6 +165,19 @@ func (f *Frontend) Execute(q Query) (SearchResponse, error) {
 	segsByShard, loadCost, err := f.loadShards(shards)
 	resp.Cost = resp.Cost.Seq(loadCost)
 	if err != nil {
+		// A failed wave still carries its accounting: every shard fetch
+		// was in flight, so Explain (when requested) records the wave and
+		// its full cost even though no results can be composed.
+		if q.Explain {
+			resp.Explain = &Explain{
+				Query:     q.Raw,
+				Mode:      q.Mode.String(),
+				Terms:     allTerms,
+				Shards:    shards,
+				LoadCost:  loadCost,
+				TotalCost: resp.Cost,
+			}
+		}
 		return resp, fmt.Errorf("%w: %w", ErrShardUnavailable, err)
 	}
 	merged := make(map[string]index.PostingList, len(allTerms))
@@ -172,7 +185,9 @@ func (f *Frontend) Execute(q Query) (SearchResponse, error) {
 		merged[term] = segsByShard[shardOf[term]].Postings(term)
 	}
 
-	ev := &evaluator{f: f, merged: merged, explain: q.Explain}
+	// Options are snapshotted once per query: concurrent SetUseGallop-
+	// Intersection calls can never race a plan mid-execution.
+	ev := &evaluator{f: f, merged: merged, explain: q.Explain, gallop: f.UseGallopIntersection()}
 	if query.HasSite(root) {
 		ev.urls = f.docURLView()
 	}
@@ -239,6 +254,7 @@ type evaluator struct {
 	merged  map[string]index.PostingList
 	urls    map[index.DocID]string // DocID→URL snapshot; set iff the tree has site: filters
 	explain bool
+	gallop  bool // intersection kernel, snapshotted at query start
 }
 
 // node builds an ExplainNode, or nil when tracing is off.
@@ -376,7 +392,7 @@ func (ev *evaluator) intersect(lists [][]index.DocID) []index.DocID {
 	case 1:
 		return lists[0]
 	}
-	if ev.f.UseGallopIntersection {
+	if ev.gallop {
 		return index.IntersectGallop(lists)
 	}
 	return index.IntersectMerge(lists)

@@ -2,8 +2,12 @@ package core
 
 import (
 	"errors"
+	"fmt"
+	"strings"
 	"testing"
 
+	"repro/internal/dht"
+	"repro/internal/index"
 	"repro/internal/query"
 )
 
@@ -182,6 +186,67 @@ func TestQueryExecuteExplain(t *testing.T) {
 	}
 	if resp.Explain != nil {
 		t.Fatal("explain present without the flag")
+	}
+}
+
+// TestQueryFailedWaveAccounting pins the loadShards error contract: when
+// one shard of the wave fails, the caller gets no partial result map, the
+// error names the lowest-indexed failing shard and wraps
+// ErrShardUnavailable, and the Explain trace still records the full
+// wave's shards and cost (every fetch was in flight when the wave
+// failed).
+func TestQueryFailedWaveAccounting(t *testing.T) {
+	c, fe := queryCluster(t)
+
+	// Poison the pointer record of the shard the analyzed "red" hashes
+	// to with a higher-versioned garbage value: every replica converges
+	// on it, so the next pointer read fails to parse.
+	terms := index.AnalyzeQuery("red apples")
+	if len(terms) != 2 {
+		t.Fatalf("analyzed terms = %v, want 2", terms)
+	}
+	shard := index.ShardOf(terms[0], c.Config().NumShards)
+	key := dht.KeyOfString(index.ShardPointerKey(shard))
+	if _, _, err := fe.peer.DHT().Put(key, []byte("not json"), 1<<60); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := fe.Execute(Query{Raw: "red apples", Explain: true})
+	if !errors.Is(err, ErrShardUnavailable) {
+		t.Fatalf("err = %v, want ErrShardUnavailable", err)
+	}
+	if !strings.Contains(err.Error(), fmt.Sprintf("shard %d", shard)) {
+		t.Fatalf("err %q does not name the failing shard %d", err, shard)
+	}
+	if len(resp.Results) != 0 || resp.Total != 0 {
+		t.Fatalf("failed wave leaked results: %+v", resp.Results)
+	}
+	ex := resp.Explain
+	if ex == nil {
+		t.Fatal("failed wave with Explain requested should still carry the trace")
+	}
+	// Both terms' shards belong to the wave even though one failed, and
+	// the wave's cost covers every in-flight fetch.
+	wantShards := map[int]bool{
+		index.ShardOf(terms[0], c.Config().NumShards): true,
+		index.ShardOf(terms[1], c.Config().NumShards): true,
+	}
+	if len(ex.Shards) != len(wantShards) {
+		t.Fatalf("explain shards = %v, want %d distinct", ex.Shards, len(wantShards))
+	}
+	for _, s := range ex.Shards {
+		if !wantShards[s] {
+			t.Fatalf("explain shards = %v, unexpected %d", ex.Shards, s)
+		}
+	}
+	if ex.LoadCost.Msgs == 0 || ex.LoadCost.Latency == 0 {
+		t.Fatalf("failed wave load cost empty: %+v", ex.LoadCost)
+	}
+	if ex.TotalCost != ex.LoadCost {
+		t.Fatalf("failed wave total %+v should equal load %+v (nothing else ran)", ex.TotalCost, ex.LoadCost)
+	}
+	if ex.Plan != nil || ex.Candidates != 0 || ex.Returned != 0 {
+		t.Fatalf("failed wave should carry no plan/candidates: %+v", ex)
 	}
 }
 

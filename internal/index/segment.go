@@ -36,6 +36,7 @@ type Segment struct {
 	mu     sync.RWMutex
 	sorted []string     // memoized TermsSorted result
 	lazy   *lazySegment // non-nil iff decoded from the v2 format
+	size   int64        // memoized SizeBytes result (0 = not yet computed)
 }
 
 // NewSegment returns an empty segment with the given generation.
@@ -203,6 +204,53 @@ func (s *Segment) postingsMap() (map[string]PostingList, error) {
 func (s *Segment) Covers(doc DocID) bool {
 	_, ok := s.DocLens[doc]
 	return ok
+}
+
+// Per-entry constants for SizeBytes: a map entry's bucket overhead, one
+// Posting struct (Doc + TF + the Positions slice header), and one DocLens
+// entry. Approximations of the amd64 in-memory footprint.
+const (
+	sizeMapEntry = 48
+	sizePosting  = 40
+	sizeDocLen   = 16
+)
+
+// SizeBytes estimates the segment's resident memory footprint. Cache
+// eviction budgets are charged against it, so it is deliberately cheap
+// and stable: a lazy v2 segment is charged its raw encoding (posting
+// lists a query later decodes and memoizes are NOT tracked — they can
+// exceed the varint-packed raw bytes by a small constant factor, so the
+// budget bounds the encoded working set, not every decoded view), a
+// built segment its materialized posting lists. Segments are immutable
+// once shared, so the walk runs once and is memoized.
+func (s *Segment) SizeBytes() int64 {
+	s.mu.RLock()
+	size := s.size
+	s.mu.RUnlock()
+	if size != 0 {
+		return size
+	}
+	size = int64(len(s.DocLens)) * sizeDocLen
+	s.mu.RLock()
+	lazy := s.lazy
+	s.mu.RUnlock()
+	if lazy != nil {
+		size += int64(len(lazy.raw))
+	} else {
+		for term, pl := range s.Terms {
+			size += int64(len(term)) + sizeMapEntry + int64(len(pl))*sizePosting
+			for i := range pl {
+				size += int64(len(pl[i].Positions)) * 4
+			}
+		}
+	}
+	if size == 0 {
+		size = 1 // empty segments still occupy a cache slot
+	}
+	s.mu.Lock()
+	s.size = size
+	s.mu.Unlock()
+	return size
 }
 
 var errCorruptSegment = errors.New("index: corrupt segment encoding")

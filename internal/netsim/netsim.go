@@ -7,6 +7,14 @@
 // with Par (max of latencies, sum of bytes). This keeps experiments
 // deterministic and lets a laptop simulate thousands of nodes.
 //
+// The network is safe for concurrent callers, and — in the default
+// per-link RNG mode — concurrency does not cost reproducibility: every
+// (caller, target) pair owns an RNG stream derived from (Config.Seed,
+// caller, target), so the i-th message on a link always sees the same
+// jitter/drop/shedding draws no matter how goroutines interleave across
+// links. The single pre-concurrency stream survives behind
+// Config.SharedStream for golden-cost comparisons.
+//
 // Failure injection covers the paper's resilience claims: nodes can be
 // marked down (crash faults), the network can be split into partitions,
 // links can drop messages probabilistically, and per-node load (for the
@@ -95,6 +103,15 @@ type Config struct {
 	// Bandwidth is bytes per simulated second per link; 0 disables the
 	// serialization-delay term.
 	Bandwidth float64
+	// SharedStream restores the pre-concurrency behavior of drawing every
+	// jitter/drop/shedding decision from one global RNG stream. Costs then
+	// match historical golden values exactly, but concurrent callers
+	// consume draws in scheduling order, so per-seed cost reproducibility
+	// only holds for a single-threaded driver. The default (false) derives
+	// an independent stream per (caller, target) link, which keeps the
+	// i-th draw on every link identical across runs regardless of
+	// goroutine interleaving.
+	SharedStream bool
 }
 
 // DefaultConfig models a modest wide-area swarm: 10ms floor, up to +80ms
@@ -123,12 +140,49 @@ type Network struct {
 	cfg Config
 
 	mu       sync.Mutex
-	rng      *xrand.RNG
+	rng      *xrand.RNG // topology placement; every draw in SharedStream mode
 	nodes    map[NodeID]*nodeState
 	dropRate float64
 
+	linksMu sync.Mutex
+	links   map[linkKey]*linkStream
+
 	stats Stats
 }
+
+// linkKey identifies one directed (caller, target) pair.
+type linkKey struct {
+	from, to NodeID
+}
+
+// linkStream is the derived RNG of one directed link. Its mutex orders
+// draws so the stream position equals the link's message count.
+type linkStream struct {
+	mu  sync.Mutex
+	rng *xrand.RNG
+}
+
+// linkStream returns (creating on first use) the RNG stream of a link.
+func (n *Network) linkStream(from, to NodeID) *linkStream {
+	key := linkKey{from, to}
+	n.linksMu.Lock()
+	defer n.linksMu.Unlock()
+	ls, ok := n.links[key]
+	if !ok {
+		seed := n.cfg.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		ls = &linkStream{rng: xrand.NewNamed(seed, "link:"+string(from)+"\x00"+string(to))}
+		n.links[key] = ls
+	}
+	return ls
+}
+
+// SharedStream reports whether the network runs in the legacy
+// single-stream RNG mode, where only a single-threaded driver keeps
+// per-seed cost reproducibility.
+func (n *Network) SharedStream() bool { return n.cfg.SharedStream }
 
 // Stats aggregates global traffic counters.
 type Stats struct {
@@ -147,6 +201,7 @@ func New(cfg Config) *Network {
 		cfg:   cfg,
 		rng:   xrand.New(seed),
 		nodes: make(map[NodeID]*nodeState),
+		links: make(map[linkKey]*linkStream),
 	}
 }
 
@@ -298,34 +353,72 @@ func (n *Network) Call(from, to NodeID, req any) (resp any, cost Cost, err error
 	case dst.handler == nil:
 		return fail(ErrNoHandler)
 	}
-	if n.dropRate > 0 && n.rng.Bool(n.dropRate) {
-		return fail(ErrDropped)
+
+	// Snapshot everything the draw section needs, then release n.mu in
+	// the default mode: per-message randomness only serializes on the
+	// link's own stream, so concurrent calls on different links never
+	// contend on the global lock while drawing. (Node positions are set
+	// once at registration and never move, so dist is safe to carry out
+	// of the lock.) SharedStream keeps the draws on n.rng under n.mu,
+	// reproducing the historical sequence exactly.
+	dropRate := n.dropRate
+	var rho float64
+	if dst.capacity > 0 && dst.offered > 0 {
+		rho = dst.offered / dst.capacity
+	}
+	dist := nodeDist(src, dst)
+	handler := dst.handler
+	reqBytes := payloadSize(req)
+
+	// The draw order per message is fixed: drop, shedding, jitter — each
+	// conditional on its feature being active.
+	var link *linkStream
+	var draw func() float64
+	if n.cfg.SharedStream {
+		draw = n.rng.Float64
+	} else {
+		link = n.linkStream(from, to)
+		n.mu.Unlock()
+		link.mu.Lock()
+		draw = link.rng.Float64
+	}
+	// failDrawn releases whichever lock the draw section holds, then
+	// charges the failure under n.mu.
+	failDrawn := func(e error) (any, Cost, error) {
+		if link != nil {
+			link.mu.Unlock()
+			n.mu.Lock()
+		}
+		return fail(e) // fail unlocks n.mu
+	}
+
+	if dropRate > 0 && draw() < dropRate {
+		return failDrawn(ErrDropped)
 	}
 
 	// Queueing model: overload sheds requests, high utilization inflates
 	// service time (M/M/1 waiting factor, capped).
 	var queueDelay time.Duration
-	if dst.capacity > 0 && dst.offered > 0 {
-		rho := dst.offered / dst.capacity
-		if rho >= 1 {
-			// Saturated: only capacity/offered of requests survive.
-			if !n.rng.Bool(1 / rho) {
-				return fail(ErrOverloaded)
-			}
-			queueDelay = time.Duration(20) * n.cfg.BaseLatency
-		} else {
-			wait := rho / (1 - rho)
-			if wait > 20 {
-				wait = 20
-			}
-			queueDelay = time.Duration(float64(n.cfg.BaseLatency) * wait)
+	if rho >= 1 {
+		// Saturated: only capacity/offered of requests survive.
+		if !(draw() < 1/rho) {
+			return failDrawn(ErrOverloaded)
 		}
+		queueDelay = time.Duration(20) * n.cfg.BaseLatency
+	} else if rho > 0 {
+		wait := rho / (1 - rho)
+		if wait > 20 {
+			wait = 20
+		}
+		queueDelay = time.Duration(float64(n.cfg.BaseLatency) * wait)
 	}
 
-	reqBytes := payloadSize(req)
-	oneWay := n.linkLatencyLocked(src, dst)
-	handler := dst.handler
-	n.mu.Unlock()
+	oneWay := n.linkLatency(dist, draw)
+	if link != nil {
+		link.mu.Unlock()
+	} else {
+		n.mu.Unlock()
+	}
 
 	resp, err = handler(from, req)
 
@@ -349,14 +442,20 @@ func (n *Network) Call(from, to NodeID, req any) (resp any, cost Cost, err error
 	return resp, cost, err
 }
 
-// linkLatencyLocked computes the one-way delay between two nodes from the
-// 2-D embedding plus jitter. Caller holds n.mu.
-func (n *Network) linkLatencyLocked(a, b *nodeState) time.Duration {
+// nodeDist is the normalized [0,1] distance between two nodes in the 2-D
+// embedding. Positions are written once at registration, so the result
+// is safe to carry outside n.mu.
+func nodeDist(a, b *nodeState) float64 {
 	dx, dy := a.x-b.x, a.y-b.y
-	dist := math.Sqrt(dx*dx+dy*dy) / math.Sqrt2 // normalized to [0,1]
+	return math.Sqrt(dx*dx+dy*dy) / math.Sqrt2
+}
+
+// linkLatency computes the one-way delay for a link of the given
+// normalized distance, drawing the jitter from the supplied stream.
+func (n *Network) linkLatency(dist float64, draw func() float64) time.Duration {
 	lat := float64(n.cfg.BaseLatency) + dist*float64(n.cfg.MaxExtra)
 	if n.cfg.JitterFrac > 0 {
-		j := 1 + n.cfg.JitterFrac*(2*n.rng.Float64()-1)
+		j := 1 + n.cfg.JitterFrac*(2*draw()-1)
 		lat *= j
 	}
 	return time.Duration(lat)

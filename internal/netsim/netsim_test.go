@@ -2,6 +2,8 @@ package netsim
 
 import (
 	"errors"
+	"sort"
+	"sync"
 	"testing"
 	"time"
 )
@@ -253,6 +255,142 @@ func TestDeterministicLatency(t *testing.T) {
 	for i := range x {
 		if x[i] != y[i] {
 			t.Fatalf("nondeterministic latency at call %d: %v vs %v", i, x[i], y[i])
+		}
+	}
+}
+
+// TestLegacySharedStreamGolden pins the pre-concurrency RNG behavior:
+// with Config.SharedStream set, the latency sequence must match the
+// golden values captured from the historical single-stream implementation
+// (DefaultConfig, seed 1, nodes registered a, b, c, alternating a→b and
+// a→c calls). Golden-cost comparisons across versions rely on this mode.
+func TestLegacySharedStreamGolden(t *testing.T) {
+	golden := [][2]time.Duration{
+		{37172334, 61178148},
+		{43642130, 63314570},
+		{44173784, 68394966},
+		{44175410, 64785248},
+		{41470496, 67559618},
+		{37248812, 62558478},
+	}
+	cfg := DefaultConfig()
+	cfg.SharedStream = true
+	n := New(cfg)
+	n.Register("a", echoHandler)
+	n.Register("b", echoHandler)
+	n.Register("c", echoHandler)
+	for i, want := range golden {
+		_, c1, _ := n.Call("a", "b", i)
+		_, c2, _ := n.Call("a", "c", i)
+		if c1.Latency != want[0] || c2.Latency != want[1] {
+			t.Fatalf("call %d: latencies (%d, %d), want (%d, %d)",
+				i, c1.Latency, c2.Latency, want[0], want[1])
+		}
+	}
+	if !n.SharedStream() {
+		t.Fatal("SharedStream() should report the legacy mode")
+	}
+}
+
+// TestPerLinkStreamsIgnoreInterleaving is the concurrency-determinism
+// contract of the default mode: the i-th call on a link draws the same
+// jitter regardless of how calls on other links interleave with it.
+func TestPerLinkStreamsIgnoreInterleaving(t *testing.T) {
+	const calls = 32
+	pairs := [][2]NodeID{{"a", "b"}, {"a", "c"}, {"b", "c"}, {"c", "a"}}
+
+	sequential := func() map[[2]NodeID][]time.Duration {
+		n := newTestNet(t, "a", "b", "c")
+		out := make(map[[2]NodeID][]time.Duration)
+		for i := 0; i < calls; i++ {
+			for _, p := range pairs {
+				_, c, err := n.Call(p[0], p[1], i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out[p] = append(out[p], c.Latency)
+			}
+		}
+		return out
+	}
+
+	concurrent := func() map[[2]NodeID][]time.Duration {
+		n := newTestNet(t, "a", "b", "c")
+		out := make(map[[2]NodeID][]time.Duration)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for _, p := range pairs {
+			wg.Add(1)
+			go func(p [2]NodeID) {
+				defer wg.Done()
+				seq := make([]time.Duration, 0, calls)
+				for i := 0; i < calls; i++ {
+					_, c, err := n.Call(p[0], p[1], i)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					seq = append(seq, c.Latency)
+				}
+				mu.Lock()
+				out[p] = seq
+				mu.Unlock()
+			}(p)
+		}
+		wg.Wait()
+		return out
+	}
+
+	want, got := sequential(), concurrent()
+	for _, p := range pairs {
+		for i := range want[p] {
+			if got[p][i] != want[p][i] {
+				t.Fatalf("pair %v call %d: latency %v concurrent vs %v sequential",
+					p, i, got[p][i], want[p][i])
+			}
+		}
+	}
+}
+
+// TestSameLinkConcurrentDrawsConserved: goroutines racing on ONE link may
+// swap which call observes which draw, but the multiset of draws — and so
+// every aggregate cost — is invariant.
+func TestSameLinkConcurrentDrawsConserved(t *testing.T) {
+	const calls, workers = 40, 4
+	collect := func(parallel bool) []time.Duration {
+		n := newTestNet(t, "a", "b")
+		all := make([]time.Duration, 0, calls*workers)
+		if !parallel {
+			for i := 0; i < calls*workers; i++ {
+				_, c, _ := n.Call("a", "b", i)
+				all = append(all, c.Latency)
+			}
+		} else {
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					local := make([]time.Duration, 0, calls)
+					for i := 0; i < calls; i++ {
+						_, c, _ := n.Call("a", "b", i)
+						local = append(local, c.Latency)
+					}
+					mu.Lock()
+					all = append(all, local...)
+					mu.Unlock()
+				}()
+			}
+			wg.Wait()
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		return all
+	}
+	want, got := collect(false), collect(true)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("draw multiset diverged at %d: %v vs %v", i, got[i], want[i])
 		}
 	}
 }

@@ -66,3 +66,23 @@ func WithSwarming(on bool) Option {
 func WithStakeWeightedQuorum(on bool) Option {
 	return func(c *core.Config) { c.Contract.StakeWeightedQuorum = on }
 }
+
+// WithCacheBudget bounds the frontend's two query caches in bytes: the
+// per-digest segment cache and the per-shard merged-chain cache. Both are
+// LRU-evicted, so a long-lived serving deployment stays within budget
+// under publish churn. Zero (or negative) selects the defaults.
+func WithCacheBudget(segBytes, chainBytes int64) Option {
+	return func(c *core.Config) {
+		c.SegCacheBytes = segBytes
+		c.ChainCacheBytes = chainBytes
+	}
+}
+
+// WithSharedNetStream switches the network simulation back to the legacy
+// single RNG stream for jitter/drop draws. Simulated costs then match
+// historical golden values exactly, but concurrent queries lose per-seed
+// cost reproducibility (results stay deterministic either way), and the
+// engine serializes shard waves to keep the stream stable.
+func WithSharedNetStream(on bool) Option {
+	return func(c *core.Config) { c.Net.SharedStream = on }
+}

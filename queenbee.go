@@ -11,8 +11,17 @@ import (
 
 // Engine is a running QueenBee deployment (simulated swarm + chain +
 // contract + frontend). Create with New; drive with Publish / Run /
-// Search. Engine methods are not safe for concurrent use: the simulation
-// is a single deterministic driver.
+// Search.
+//
+// Concurrency: the query side — Search, SearchAny, SearchPhrase,
+// SearchSnippets, Query builders, Fetch — is safe for concurrent use,
+// and with the default per-link network streams the same seed yields
+// byte-identical results whether queries run sequentially or raced
+// across goroutines (cmd/queenbeed serves HTTP on exactly this
+// contract; docs/serving.md has the design). Mutating methods (Publish,
+// Run, NewAccount, RegisterAd, Click, ComputeRanks, ...) remain a
+// single deterministic driver: do not run them concurrently with each
+// other or with queries.
 type Engine struct {
 	// Cluster exposes the full simulation for advanced use (experiment
 	// harnesses, fault injection). Most callers never need it.
@@ -220,6 +229,16 @@ type Summary struct {
 	TasksFinalized int
 	TasksFailed    int
 	Workers        int
+}
+
+// CacheStats is a snapshot of the query frontend's cache occupancy and
+// traffic counters (re-exported for serving surfaces like queenbeed).
+type CacheStats = core.CacheStats
+
+// CacheStats reports the query frontend's cache occupancy against its
+// configured byte budgets.
+func (e *Engine) CacheStats() CacheStats {
+	return e.frontend.CacheStatsSnapshot()
 }
 
 // Stats returns the current deployment summary.
