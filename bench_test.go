@@ -298,6 +298,56 @@ func BenchmarkPublishPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkIngest measures write-side round throughput as the bee pool
+// grows: every iteration publishes a wave of pages (tasks spread across
+// the pool's quorums) and drives rounds to completion. Two metrics
+// matter, mirroring BenchmarkConcurrentSearch:
+//
+//   - sim_pages/s: pages indexed per simulated second of wave makespan —
+//     the round engine's currency, where bees overlap their fetch/build
+//     work and shards overlap their pointer writes;
+//   - sim_speedup: the serial/wave latency ratio of the same rounds, the
+//     write-side concurrency claim (≥2× at 8 bees, asserted by
+//     TestIngestConcurrentThroughput).
+func BenchmarkIngest(b *testing.B) {
+	for _, bees := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("bees=%d", bees), func(b *testing.B) {
+			e := New(WithSeed(1), WithPeers(12), WithBees(bees))
+			owner := e.NewAccount("ingest-owner", 1<<40)
+			const batch = 16
+			next := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			var serial, wave, pages int64
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < batch; j++ {
+					url := fmt.Sprintf("dweb://ingest/%06d", next)
+					next++
+					if _, err := e.Cluster.Publish(owner.acct, e.Cluster.RandomPeer(), url,
+						fmt.Sprintf("ingest benchmark document %06d body content", next), nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+				e.Cluster.Seal()
+				for r := 0; r < 8; r++ {
+					rr := e.RunRound()
+					serial += int64(rr.Serial().Latency)
+					wave += int64(rr.Wave().Latency)
+					if open, _, _ := e.Cluster.QB.TaskCounts(); open == 0 {
+						break
+					}
+				}
+				pages += batch
+			}
+			b.StopTimer()
+			if wave > 0 {
+				b.ReportMetric(float64(pages)/(float64(wave)/1e9), "sim_pages/s")
+				b.ReportMetric(float64(serial)/float64(wave), "sim_speedup")
+			}
+		})
+	}
+}
+
 // BenchmarkSearch measures frontend query cost on a standing index.
 func BenchmarkSearch(b *testing.B) {
 	e := New(WithSeed(1), WithPeers(12), WithBees(3))

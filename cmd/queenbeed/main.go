@@ -6,20 +6,31 @@
 //
 // Endpoints (all JSON):
 //
-//	GET /search?q=<query>[&page=N][&size=K][&mode=parsed|all|any|phrase][&snippets=1]
-//	GET /explain?q=<query>            — the compiled plan with per-node counts and costs
-//	GET /healthz                      — liveness, deployment summary, cache occupancy
+//	GET  /search?q=<query>[&page=N][&size=K][&mode=parsed|all|any|phrase][&snippets=1]
+//	GET  /explain?q=<query>           — the compiled plan with per-node counts and costs
+//	GET  /healthz                     — liveness, deployment summary, cache occupancy
+//	POST /publish                     — ingest a page batch: {"pages":[{"url","text","links"}]}
 //
 // The default mode speaks the full structured query language (uppercase
 // OR/AND, '-' exclusions, "quoted phrases", site: URL-prefix filters,
 // parentheses — docs/query-language.md). Per-request limits (query
-// length, page size, handler timeout) keep one abusive client from
-// monopolizing the shared engine; see docs/serving.md.
+// length, page size, body size, batch size, handler timeout) keep one
+// abusive client from monopolizing the shared engine; see
+// docs/serving.md.
+//
+// Publishes run under the server's write lock — the engine's mutation
+// contract is a single deterministic driver — while queries share a
+// read lock and stay concurrent among themselves. One POST /publish
+// ingests the whole batch as one protocol round (one commit-reveal
+// cycle, one shard-pointer write per touched shard — docs/indexing.md)
+// and reports the round receipt: wave cost, write counters and any
+// write-path errors.
 //
 // Usage:
 //
 //	queenbeed -addr :8080 -peers 24 -bees 6 -docs 60
 //	curl 'localhost:8080/search?q=decentralized+search&size=5'
+//	curl -X POST localhost:8080/publish -d '{"pages":[{"url":"dweb://new","text":"fresh words"}]}'
 package main
 
 import (
@@ -30,6 +41,7 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	queenbee "repro"
@@ -40,20 +52,33 @@ import (
 type limits struct {
 	maxQueryBytes int
 	maxPageSize   int
+	maxBatchPages int
+	maxBodyBytes  int64
 	timeout       time.Duration
 }
 
 func defaultLimits() limits {
-	return limits{maxQueryBytes: 1024, maxPageSize: 100, timeout: 5 * time.Second}
+	return limits{
+		maxQueryBytes: 1024,
+		maxPageSize:   100,
+		maxBatchPages: 64,
+		maxBodyBytes:  1 << 20,
+		timeout:       5 * time.Second,
+	}
 }
 
-// server answers HTTP queries against one shared, concurrently-queried
-// engine. The engine must be fully built (published, indexed, ranked)
-// before serving starts: queries are concurrency-safe, mutations are not.
+// server answers HTTP requests against one shared engine. Queries are
+// concurrency-safe and share the read lock; POST /publish mutates the
+// deployment and takes the write lock, honoring the engine's
+// single-driver mutation contract while queries stay concurrent among
+// themselves.
 type server struct {
-	engine *queenbee.Engine
-	lim    limits
-	start  time.Time
+	engine    *queenbee.Engine
+	publisher *queenbee.Account // owns API-published pages
+	lim       limits
+	start     time.Time
+
+	mu sync.RWMutex // read: queries; write: publish rounds
 }
 
 // newHandler wires the API routes, each wrapped in the request timeout.
@@ -62,12 +87,13 @@ type server struct {
 // would otherwise be content-sniffed to text/plain on this all-JSON
 // API); handlers overwrite the header with the same value on the normal
 // path.
-func newHandler(e *queenbee.Engine, lim limits) http.Handler {
-	s := &server{engine: e, lim: lim, start: time.Now()}
+func newHandler(e *queenbee.Engine, publisher *queenbee.Account, lim limits) http.Handler {
+	s := &server{engine: e, publisher: publisher, lim: lim, start: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /search", s.handleSearch)
 	mux.HandleFunc("GET /explain", s.handleExplain)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /publish", s.handlePublish)
 	inner := http.TimeoutHandler(mux, lim.timeout, `{"error":"request timed out"}`)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -160,7 +186,9 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if b == nil {
 		return
 	}
+	s.mu.RLock()
 	resp, err := b.Run()
+	s.mu.RUnlock()
 	if err != nil {
 		writeQueryErr(w, err)
 		return
@@ -200,7 +228,9 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if b == nil {
 		return
 	}
+	s.mu.RLock()
 	resp, err := b.Explain().Run()
+	s.mu.RUnlock()
 	if err != nil {
 		writeQueryErr(w, err)
 		return
@@ -233,6 +263,8 @@ type healthJSON struct {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	sum := s.engine.Stats()
 	writeJSON(w, http.StatusOK, healthJSON{
 		Status:  "ok",
@@ -241,6 +273,110 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Height:  sum.Height,
 		Workers: sum.Workers,
 		Cache:   s.engine.CacheStats(),
+	})
+}
+
+// publishJSON is the POST /publish request body.
+type publishJSON struct {
+	Pages []pageJSON `json:"pages"`
+}
+
+type pageJSON struct {
+	URL   string   `json:"url"`
+	Text  string   `json:"text"`
+	Links []string `json:"links,omitempty"`
+}
+
+// roundJSON renders a round receipt for API consumers. Speedup is the
+// serial/wave latency ratio the concurrent round engine achieved.
+type roundJSON struct {
+	Materialized  int      `json:"materialized"`
+	StoreCost     costJSON `json:"store_cost"`
+	WaveCost      costJSON `json:"wave_cost"`
+	SerialCost    costJSON `json:"serial_cost"`
+	Speedup       float64  `json:"speedup"`
+	SegmentWrites int      `json:"segment_writes"`
+	PointerWrites int      `json:"pointer_writes"`
+	StatsWrites   int      `json:"stats_writes"`
+	Compactions   int      `json:"compactions"`
+	Errors        []string `json:"errors,omitempty"`
+}
+
+func roundOf(rr queenbee.RoundReceipt) roundJSON {
+	out := roundJSON{
+		Materialized:  rr.Materialized,
+		StoreCost:     costOf(rr.StoreCost),
+		WaveCost:      costOf(rr.Wave()),
+		SerialCost:    costOf(rr.Serial()),
+		SegmentWrites: rr.SegmentWrites,
+		PointerWrites: rr.PointerWrites,
+		StatsWrites:   rr.StatsWrites,
+		Compactions:   rr.Compactions,
+	}
+	if wave := rr.Wave().Latency; wave > 0 {
+		out.Speedup = float64(rr.Serial().Latency) / float64(wave)
+	}
+	for _, re := range rr.Errors {
+		out.Errors = append(out.Errors, re.Error())
+	}
+	return out
+}
+
+// publishRespJSON is the POST /publish response.
+type publishRespJSON struct {
+	Pages      int       `json:"pages"`
+	TotalPages int       `json:"total_pages"` // deployment-wide, after the round
+	Round      roundJSON `json:"round"`
+}
+
+// handlePublish ingests a page batch as one protocol round, under the
+// server's write lock (mutations are a single deterministic driver).
+func (s *server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	var req publishJSON
+	body := http.MaxBytesReader(w, r.Body, s.lim.maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if len(req.Pages) == 0 {
+		writeErr(w, http.StatusBadRequest, "no pages in batch")
+		return
+	}
+	if len(req.Pages) > s.lim.maxBatchPages {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("batch exceeds %d pages", s.lim.maxBatchPages))
+		return
+	}
+	pages := make([]queenbee.Page, 0, len(req.Pages))
+	for _, p := range req.Pages {
+		if p.URL == "" || p.Text == "" {
+			writeErr(w, http.StatusBadRequest, "every page needs url and text")
+			return
+		}
+		pages = append(pages, queenbee.Page{URL: p.URL, Text: p.Text, Links: p.Links})
+	}
+
+	s.mu.Lock()
+	rr, err := s.engine.PublishBatch(s.publisher, pages)
+	var total int
+	if err == nil {
+		total = s.engine.Stats().Pages
+	}
+	s.mu.Unlock()
+	if err != nil {
+		// A rejected batch (foreign ownership, duplicate URL — refused
+		// atomically) is the client's fault; anything else is a
+		// server-side fault (e.g. the content store).
+		if errors.Is(err, queenbee.ErrBatchRejected) {
+			writeErr(w, http.StatusBadRequest, err.Error())
+		} else {
+			writeErr(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, publishRespJSON{
+		Pages:      len(pages),
+		TotalPages: total,
+		Round:      roundOf(rr),
 	})
 }
 
@@ -285,8 +421,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // buildEngine boots the deployment and indexes the demo corpus — the
-// write side runs to completion before the first query is served.
-func buildEngine(seed uint64, peers, bees, docs int) *queenbee.Engine {
+// write side runs to completion before the first query is served. The
+// returned account owns the demo corpus and every page later ingested
+// through POST /publish.
+func buildEngine(seed uint64, peers, bees, docs int) (*queenbee.Engine, *queenbee.Account) {
 	engine := queenbee.New(
 		queenbee.WithSeed(seed),
 		queenbee.WithPeers(peers),
@@ -297,14 +435,20 @@ func buildEngine(seed uint64, peers, bees, docs int) *queenbee.Engine {
 	ccfg.Seed = seed
 	ccfg.NumDocs = docs
 	corp := corpus.Generate(ccfg)
+	pages := make([]queenbee.Page, 0, len(corp.Docs))
 	for _, d := range corp.Docs {
-		if err := engine.Publish(creator, d.URL, d.Text, d.Links); err != nil {
-			log.Fatalf("publish %s: %v", d.URL, err)
-		}
+		pages = append(pages, queenbee.Page{URL: d.URL, Text: d.Text, Links: d.Links})
+	}
+	// The demo corpus ships as one batch: one commit-reveal round, one
+	// shard-pointer write per touched shard.
+	if rr, err := engine.PublishBatch(creator, pages); err != nil {
+		log.Fatalf("publish corpus: %v", err)
+	} else if len(rr.Errors) > 0 {
+		log.Fatalf("publish corpus: round errors: %v", rr.Errors[0])
 	}
 	engine.RunUntilIdle()
 	engine.ComputeRanks(4)
-	return engine
+	return engine, creator
 }
 
 func main() {
@@ -315,17 +459,25 @@ func main() {
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	maxQuery := flag.Int("max-query-bytes", 1024, "reject queries longer than this")
 	maxPage := flag.Int("max-page-size", 100, "largest size= a request may ask for")
+	maxBatch := flag.Int("max-batch-pages", 64, "largest page batch POST /publish accepts")
+	maxBody := flag.Int64("max-body-bytes", 1<<20, "largest request body POST /publish accepts")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request handler timeout")
 	flag.Parse()
 
 	log.Printf("booting QueenBee swarm: %d peers, %d bees, %d docs (seed %d)…", *peers, *bees, *docs, *seed)
-	engine := buildEngine(*seed, *peers, *bees, *docs)
+	engine, publisher := buildEngine(*seed, *peers, *bees, *docs)
 	sum := engine.Stats()
 	log.Printf("index ready: %d pages, chain height %d, %d active bees", sum.Pages, sum.Height, sum.Workers)
 
-	lim := limits{maxQueryBytes: *maxQuery, maxPageSize: *maxPage, timeout: *timeout}
+	lim := limits{
+		maxQueryBytes: *maxQuery,
+		maxPageSize:   *maxPage,
+		maxBatchPages: *maxBatch,
+		maxBodyBytes:  *maxBody,
+		timeout:       *timeout,
+	}
 	log.Printf("queenbeed listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, newHandler(engine, lim)); err != nil {
+	if err := http.ListenAndServe(*addr, newHandler(engine, publisher, lim)); err != nil {
 		log.Fatal(err)
 	}
 }

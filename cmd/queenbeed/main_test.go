@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -23,8 +24,8 @@ var (
 func serverHandler(t *testing.T) http.Handler {
 	t.Helper()
 	handlerOnce.Do(func() {
-		engine := buildEngine(1, 10, 3, 12)
-		testH = newHandler(engine, defaultLimits())
+		engine, publisher := buildEngine(1, 10, 3, 12)
+		testH = newHandler(engine, publisher, defaultLimits())
 		ccfg := corpus.DefaultConfig()
 		ccfg.Seed = 1
 		ccfg.NumDocs = 12
@@ -147,6 +148,82 @@ func TestHealthzEndpoint(t *testing.T) {
 	if out.Cache.SegBudget == 0 || out.Cache.ChainBudget == 0 {
 		t.Fatalf("healthz missing cache budgets: %+v", out.Cache)
 	}
+}
+
+// postJSON sends a JSON body and decodes the JSON response.
+func postJSON(t *testing.T, h http.Handler, url, body string, wantStatus int, into any) {
+	t.Helper()
+	req := httptest.NewRequest("POST", url, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != wantStatus {
+		t.Fatalf("POST %s = %d (%s), want %d", url, rec.Code, rec.Body.String(), wantStatus)
+	}
+	if into != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), into); err != nil {
+			t.Fatalf("POST %s: bad JSON %q: %v", url, rec.Body.String(), err)
+		}
+	}
+}
+
+// TestPublishEndpoint ingests a batch through POST /publish and then
+// finds the new pages through GET /search — the full write-then-read
+// serving loop over one shared engine.
+func TestPublishEndpoint(t *testing.T) {
+	h := serverHandler(t)
+	body := `{"pages":[
+		{"url":"dweb://api/one","text":"glowworm beacon essay about luminous navigation"},
+		{"url":"dweb://api/two","text":"glowworm colonies and their luminous caves"}
+	]}`
+	var out publishRespJSON
+	postJSON(t, h, "/publish", body, http.StatusOK, &out)
+	if out.Pages != 2 {
+		t.Fatalf("pages = %d, want 2", out.Pages)
+	}
+	if out.Round.Materialized == 0 {
+		t.Fatalf("round materialized nothing: %+v", out.Round)
+	}
+	// One batch task → one segment; pointer writes bounded by shards.
+	if out.Round.SegmentWrites != 1 || out.Round.StatsWrites != 1 {
+		t.Fatalf("batch write counters: %+v", out.Round)
+	}
+	if len(out.Round.Errors) > 0 {
+		t.Fatalf("round errors: %v", out.Round.Errors)
+	}
+	if out.Round.WaveCost.Msgs == 0 {
+		t.Fatalf("round carries no simulated cost: %+v", out.Round)
+	}
+
+	var got searchJSON
+	getJSON(t, h, "/search?q=glowworm+luminous", http.StatusOK, &got)
+	if got.Total != 2 {
+		t.Fatalf("published pages not searchable: %+v", got)
+	}
+}
+
+func TestPublishRejectsBadBatches(t *testing.T) {
+	h := serverHandler(t)
+	cases := []string{
+		`not json`,
+		`{"pages":[]}`,
+		`{"pages":[{"url":"","text":"x"}]}`,
+		`{"pages":[{"url":"dweb://no-text","text":""}]}`,
+		`{"pages":[{"url":"dweb://dup","text":"a"},{"url":"dweb://dup","text":"b"}]}`,
+	}
+	for _, body := range cases {
+		var e map[string]any
+		postJSON(t, h, "/publish", body, http.StatusBadRequest, &e)
+		if e["error"] == "" {
+			t.Fatalf("%s: no error message in body", body)
+		}
+	}
+	// Oversized batches are refused before touching the engine.
+	var pages []string
+	for i := 0; i < defaultLimits().maxBatchPages+1; i++ {
+		pages = append(pages, `{"url":"dweb://big/`+strconv.Itoa(i)+`","text":"w"}`)
+	}
+	postJSON(t, h, "/publish", `{"pages":[`+strings.Join(pages, ",")+`]}`,
+		http.StatusBadRequest, nil)
 }
 
 // canonicalSearch re-encodes a /search body with its cost zeroed:

@@ -75,4 +75,19 @@
 // cmd/queenbeed serves /search, /explain and /healthz over HTTP against
 // one shared engine on exactly this contract; write-side methods remain
 // a single deterministic driver.
+//
+// # Concurrent ingest
+//
+// Inside that single driver, the write side is itself concurrent
+// (docs/indexing.md): each protocol round fans the bees' fetch-and-build
+// work out as a goroutine wave, materializes the round's winning
+// segments as a batch — one shard-pointer read-modify-write per touched
+// shard and one stats bump per round, O(shards) instead of
+// O(segments×shards) — and reports wave-vs-serial costs in a
+// RoundReceipt. PublishBatch ingests N pages as ONE atomic contract
+// transaction and one commit-reveal cycle, with the quorum building a
+// single multi-doc segment. DHT state stays byte-identical per seed
+// whether rounds run parallel or sequential (WithParallelRounds);
+// cmd/queenbeed's POST /publish serves batch ingest over HTTP under a
+// write lock while queries keep flowing on the read lock.
 package queenbee

@@ -29,6 +29,7 @@ const ContractName = "queenbee"
 // Method names.
 const (
 	MethodPublish          = "publish"
+	MethodPublishBatch     = "publish-batch"
 	MethodRegisterWorker   = "register-worker"
 	MethodDeregisterWorker = "deregister-worker"
 	MethodCommit           = "commit"
@@ -152,6 +153,8 @@ func (q *QueenBee) Execute(ctx *chain.TxContext, method string, params []byte) e
 	switch method {
 	case MethodPublish:
 		return q.execPublish(ctx, params)
+	case MethodPublishBatch:
+		return q.execPublishBatch(ctx, params)
 	case MethodRegisterWorker:
 		return q.execRegisterWorker(ctx, params)
 	case MethodDeregisterWorker:

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"strconv"
 	"strings"
@@ -35,6 +36,10 @@ type WorkerBee struct {
 
 	// Cost accumulates the simulated network expense of this bee's work.
 	Cost netsim.Cost
+	// Errs records the write-path failures this bee observed (segment
+	// writes, shard appends, compaction, stats) instead of swallowing
+	// them; each round's slice is also surfaced on the RoundReceipt.
+	Errs []RoundError
 }
 
 type pendingResult struct {
@@ -43,33 +48,42 @@ type pendingResult struct {
 	salt   []byte
 }
 
-// CommitPhase computes results for newly assigned open tasks and submits
-// commitments.
-func (b *WorkerBee) CommitPhase() {
+// prepareCommits computes results for newly assigned open tasks and
+// returns the commitments to submit. It is the compute leg of the
+// round engine's commit wave: one goroutine per bee may run it
+// concurrently — it touches only this bee's own state (pending map,
+// its DWeb peer) and read-locked contract views, never the chain. The
+// cluster submits the returned commitments afterwards, sequentially in
+// bee order, so transaction order stays deterministic.
+func (b *WorkerBee) prepareCommits() (commits []contracts.CommitParams, cost netsim.Cost, errs []RoundError) {
 	for _, task := range b.cluster.QB.OpenTasksFor(b.Account.Address()) {
 		if _, done := b.pending[task.ID]; done {
 			continue
 		}
 		var result []byte
-		var ok bool
+		var buildCost netsim.Cost
+		var err error
 		switch task.Kind {
 		case contracts.TaskIndex:
-			result, ok = b.buildIndexResult(task)
+			result, buildCost, err = b.buildIndexResult(task)
 		case contracts.TaskRank:
-			result, ok = b.buildRankResult(task)
+			result, err = b.buildRankResult(task)
 		}
-		if !ok {
+		cost = cost.Seq(buildCost)
+		if err != nil {
+			errs = append(errs, RoundError{Bee: b.Name, Task: task.ID, Shard: -1, Stage: "build", Err: err})
 			continue
 		}
 		digest := index.DigestOf(result)
 		salt := make([]byte, 16)
 		xrand.NewNamed(b.cluster.cfg.Seed, "salt:"+b.Name+":"+task.ID).Bytes(salt)
 		b.pending[task.ID] = pendingResult{result: result, digest: digest, salt: salt}
-		b.cluster.SubmitCall(b.Account, contracts.MethodCommit, contracts.CommitParams{
+		commits = append(commits, contracts.CommitParams{
 			TaskID:     task.ID,
 			Commitment: contracts.Commitment(digest, salt),
-		}, 0)
+		})
 	}
+	return commits, cost, errs
 }
 
 // RevealPhase opens this bee's commitments for tasks still open.
@@ -97,16 +111,27 @@ func (b *WorkerBee) RevealPhase() {
 	}
 }
 
-// MaterializePhase writes finalized winning results into the DHT. Only
-// the designated writer (first winning assignee) writes, and only when
-// its own digest won — a losing bee cannot materialize the honest result
-// it computed. Returns the number of tasks materialized.
-func (b *WorkerBee) MaterializePhase() int {
-	count := 0
-	for taskID, pr := range b.pending {
-		if b.written[taskID] {
-			continue
+// collectWins is the per-bee leg of the round engine's materialize
+// wave: it scans this bee's pending tasks in sorted ID order (map
+// iteration order must never reach the DHT — write order and netsim
+// draws are part of the determinism contract), writes the immutable
+// segment record for every finalized task this bee won as designated
+// writer, and returns the shard contributions for the cluster's batched
+// pointer update. Only the designated writer (first winning assignee)
+// contributes, and only when its own digest won — a losing bee cannot
+// materialize the honest result it computed. count is the number of
+// tasks materialized (index segments written plus finalized rank tasks,
+// whose results live on chain).
+func (b *WorkerBee) collectWins() (contribs []contribution, count int, cost netsim.Cost, errs []RoundError) {
+	taskIDs := make([]string, 0, len(b.pending))
+	for taskID := range b.pending {
+		if !b.written[taskID] {
+			taskIDs = append(taskIDs, taskID)
 		}
+	}
+	sort.Strings(taskIDs)
+	for _, taskID := range taskIDs {
+		pr := b.pending[taskID]
 		task, ok := b.cluster.QB.TaskInfo(taskID)
 		if !ok || task.Status != contracts.StatusFinalized {
 			if ok && task.Status == contracts.StatusFailed {
@@ -121,16 +146,60 @@ func (b *WorkerBee) MaterializePhase() int {
 		if b.designatedWriter(task) != b.Account.Address() {
 			continue
 		}
-		if task.Kind == contracts.TaskIndex {
-			b.materializeIndexResult(task, pr.result)
-			count++
-		}
 		// Rank results live on chain (WinningResult); nothing to write.
 		if task.Kind == contracts.TaskRank {
 			count++
+			continue
+		}
+		seg, err := index.DecodeSegment(pr.result)
+		if err != nil {
+			errs = append(errs, RoundError{Bee: b.Name, Task: taskID, Shard: -1, Stage: "decode", Err: err})
+			continue
+		}
+		wcost, err := writeSegment(b.Peer.DHT(), pr.digest, pr.result)
+		cost = cost.Seq(wcost)
+		if err != nil {
+			errs = append(errs, RoundError{Bee: b.Name, Task: taskID, Shard: -1, Stage: "segment-write", Err: err})
+			continue
+		}
+		count++ // only a segment that actually landed counts as materialized
+		contribs = append(contribs, b.contributionFor(task, seg, pr.digest))
+	}
+	return contribs, count, cost, errs
+}
+
+// contributionFor assembles the shard/stat deltas one winning segment
+// adds to the round's batch: the sorted shards its terms hash to, and
+// the document/token counts of its first-version pages (re-published
+// pages are counted once per version; stats drift is acceptable for
+// BM25 — documented simplification).
+func (b *WorkerBee) contributionFor(task contracts.Task, seg *index.Segment, digest string) contribution {
+	shards := make(map[int]bool)
+	for _, term := range seg.TermsSorted() {
+		shards[index.ShardOf(term, b.cluster.cfg.NumShards)] = true
+	}
+	shardList := make([]int, 0, len(shards))
+	for s := range shards {
+		shardList = append(shardList, s)
+	}
+	sort.Ints(shardList)
+
+	ctr := contribution{bee: b, taskID: task.ID, digest: digest, shards: shardList}
+	if entries, isBatch := contracts.BatchEntries(task); isBatch {
+		for _, e := range entries {
+			if e.Seq != 1 {
+				continue
+			}
+			ctr.newDocs++
+			ctr.tokens += uint64(seg.DocLens[index.DocIDOf(e.URL)])
+		}
+	} else if task.Meta["seq"] == "1" {
+		for _, l := range seg.DocLens {
+			ctr.tokens += uint64(l)
+			ctr.newDocs++
 		}
 	}
-	return count
+	return ctr
 }
 
 // designatedWriter picks the first winning assignee in sorted order.
@@ -148,30 +217,55 @@ func (b *WorkerBee) designatedWriter(task contracts.Task) chain.Address {
 	return winners[0]
 }
 
-// buildIndexResult fetches the published content from the DWeb and builds
-// the deterministic delta segment for the task's page version.
-func (b *WorkerBee) buildIndexResult(task contracts.Task) ([]byte, bool) {
-	url := task.Meta["url"]
-	cidHex := task.Meta["cid"]
-	cid, err := cidFromHex(cidHex)
-	if err != nil {
-		return nil, false
-	}
-	content, cost, err := b.Peer.Fetch(cid)
-	b.Cost = b.Cost.Seq(cost)
-	if err != nil {
-		return nil, false
+// buildIndexResult fetches the published content from the DWeb and
+// builds the deterministic delta segment for the task's page version —
+// or, for a batch task, for every page of the batch in one segment. The
+// per-page fetches of a batch are independent downloads from (usually)
+// distinct providers, so their cost folds as one parallel wave
+// (execution stays sequential on this bee's goroutine, keeping the
+// bee's per-link draw order seed-stable); across bees, the round engine
+// runs the whole build as a real goroutine wave.
+func (b *WorkerBee) buildIndexResult(task contracts.Task) ([]byte, netsim.Cost, error) {
+	var cost netsim.Cost
+	var docs []index.BatchDoc
+	if entries, isBatch := contracts.BatchEntries(task); isBatch {
+		for _, e := range entries {
+			content, c, err := b.fetchPage(e.URL, e.CID)
+			cost = cost.Par(c)
+			if err != nil {
+				return nil, cost, err
+			}
+			docs = append(docs, index.BatchDoc{Doc: index.DocIDOf(e.URL), Text: string(content)})
+		}
+	} else {
+		content, c, err := b.fetchPage(task.Meta["url"], task.Meta["cid"])
+		cost = cost.Seq(c)
+		if err != nil {
+			return nil, cost, err
+		}
+		docs = append(docs, index.BatchDoc{Doc: index.DocIDOf(task.Meta["url"]), Text: string(content)})
 	}
 	gen := task.CreatedAt // same for every assignee → deterministic
-	builder := index.NewBuilder(gen)
-	builder.Add(index.DocIDOf(url), string(content))
-	seg := builder.Build()
+	seg := index.BuildBatch(gen, docs)
 	data := seg.Encode()
 
 	if b.Colluding {
 		data = b.corruptSegment(task, seg)
 	}
-	return data, true
+	return data, cost, nil
+}
+
+// fetchPage resolves one page version's content from the DWeb store.
+func (b *WorkerBee) fetchPage(url, cidHex string) ([]byte, netsim.Cost, error) {
+	cid, err := cidFromHex(cidHex)
+	if err != nil {
+		return nil, netsim.Cost{}, fmt.Errorf("page %q: %w", url, err)
+	}
+	content, cost, err := b.Peer.Fetch(cid)
+	if err != nil {
+		return nil, cost, fmt.Errorf("page %q: %w", url, err)
+	}
+	return content, cost, nil
 }
 
 // corruptSegment produces the colluders' agreed-upon wrong result: the
@@ -184,68 +278,21 @@ func (b *WorkerBee) corruptSegment(task contracts.Task, honest *index.Segment) [
 	return builder.Build().Encode()
 }
 
-// materializeIndexResult stores the segment and links it from every
-// affected shard, then bumps global stats.
-func (b *WorkerBee) materializeIndexResult(task contracts.Task, data []byte) {
-	digest := index.DigestOf(data)
-	cost, err := writeSegment(b.Peer.DHT(), digest, data)
-	b.Cost = b.Cost.Seq(cost)
-	if err != nil {
-		return
-	}
-	seg, err := index.DecodeSegment(data)
-	if err != nil {
-		return
-	}
-	shards := make(map[int]bool)
-	for _, term := range seg.TermsSorted() {
-		shards[index.ShardOf(term, b.cluster.cfg.NumShards)] = true
-	}
-	shardList := make([]int, 0, len(shards))
-	for s := range shards {
-		shardList = append(shardList, s)
-	}
-	sort.Ints(shardList)
-	for _, s := range shardList {
-		cost, err := appendSegmentToShard(b.Peer.DHT(), s, digest)
-		b.Cost = b.Cost.Seq(cost)
-		if err != nil {
-			continue
-		}
-		cost, _ = compactShard(b.Peer.DHT(), s)
-		b.Cost = b.Cost.Seq(cost)
-	}
-	var tokens uint64
-	newDocs := 0
-	for _, l := range seg.DocLens {
-		tokens += uint64(l)
-		newDocs++
-	}
-	// Re-published pages are counted once per version; stats drift is
-	// acceptable for BM25 (documented simplification).
-	if seqStr := task.Meta["seq"]; seqStr == "1" {
-		cost, _ = bumpStats(b.Peer.DHT(), newDocs, tokens)
-	} else {
-		cost, _ = bumpStats(b.Peer.DHT(), 0, 0)
-	}
-	b.Cost = b.Cost.Seq(cost)
-}
-
 // buildRankResult computes the page-rank partition for a rank task. The
 // link graph comes from chain state, so every honest bee computes the
 // same result bytes.
-func (b *WorkerBee) buildRankResult(task contracts.Task) ([]byte, bool) {
+func (b *WorkerBee) buildRankResult(task contracts.Task) ([]byte, error) {
 	partition, err := strconv.Atoi(task.Meta["partition"])
 	if err != nil {
-		return nil, false
+		return nil, fmt.Errorf("task %q: bad partition: %w", task.ID, err)
 	}
 	epoch, err := strconv.ParseUint(task.Meta["epoch"], 10, 64)
 	if err != nil {
-		return nil, false
+		return nil, fmt.Errorf("task %q: bad epoch: %w", task.ID, err)
 	}
 	re, ok := b.cluster.QB.RankEpochInfo(epoch)
 	if !ok {
-		return nil, false
+		return nil, fmt.Errorf("task %q: unknown rank epoch %d", task.ID, epoch)
 	}
 	g := rank.NewGraph(b.cluster.QB.LinkGraph())
 	res := rank.Compute(g, rank.DefaultOptions())
@@ -266,12 +313,12 @@ func (b *WorkerBee) buildRankResult(task contracts.Task) ([]byte, bool) {
 
 	parts := rank.Partition(g.Size(), re.Partitions)
 	if partition >= len(parts) {
-		return contracts.EncodeRankResult(nil), true
+		return contracts.EncodeRankResult(nil), nil
 	}
 	lo, hi := parts[partition][0], parts[partition][1]
 	entries := make([]contracts.RankEntry, 0, hi-lo)
 	for i := lo; i < hi; i++ {
 		entries = append(entries, contracts.RankEntry{URL: g.URL(i), Rank: ranks[i]})
 	}
-	return contracts.EncodeRankResult(entries), true
+	return contracts.EncodeRankResult(entries), nil
 }

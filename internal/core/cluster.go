@@ -48,6 +48,14 @@ type Config struct {
 	SegCacheBytes   int64
 	ChainCacheBytes int64
 
+	// ParallelRounds lets ProcessRound fan its commit and materialize
+	// waves out across goroutines (one per bee, then one per touched
+	// shard). DHT state stays byte-identical either way — the round
+	// engine orders every write deterministically — so this only trades
+	// wall-clock for goroutines. Forced off under Net.SharedStream,
+	// where a single RNG stream makes draw order scheduling-dependent.
+	ParallelRounds bool
+
 	Net      netsim.Config
 	DHT      dht.Config
 	Peer     store.PeerConfig
@@ -73,6 +81,7 @@ func DefaultConfig() Config {
 		RankWeight:      1.0,
 		SegCacheBytes:   DefaultSegCacheBytes,
 		ChainCacheBytes: DefaultChainCacheBytes,
+		ParallelRounds:  true,
 		Net:             netsim.DefaultConfig(),
 		DHT:             dht.DefaultConfig(),
 		Peer:            store.DefaultPeerConfig(),
@@ -243,26 +252,33 @@ func (c *Cluster) RandomPeer() *store.Peer {
 
 // ProcessRound drives one full protocol round:
 //
-//  1. every bee computes results and commits for its open tasks;
+//  1. every bee computes results and commits for its open tasks — a
+//     goroutine wave under ParallelRounds, with commitments submitted
+//     sequentially in bee order;
 //  2. a block seals the commits;
 //  3. every bee reveals; the last reveal of each task auto-finalizes it;
 //  4. a block seals the reveals;
-//  5. winning bees materialize finalized results into the DHT.
+//  5. winning bees materialize finalized results into the DHT as one
+//     batch: a segment-write wave, then one pointer read-modify-write
+//     per touched shard, then one stats bump (see round.go).
 //
-// It returns the number of tasks finalized during the round.
+// It returns the number of tasks materialized during the round.
 func (c *Cluster) ProcessRound() int {
-	for _, bee := range c.Bees {
-		bee.CommitPhase()
-	}
+	return c.ProcessRoundReceipt().Materialized
+}
+
+// ProcessRoundReceipt is ProcessRound with the full accounting: wave
+// vs serial costs, mutable-DHT write counters, and the round's error
+// summary.
+func (c *Cluster) ProcessRoundReceipt() RoundReceipt {
+	var r RoundReceipt
+	c.commitWave(&r)
 	c.Seal()
 	for _, bee := range c.Bees {
 		bee.RevealPhase()
 	}
 	c.Seal()
-	finalized := 0
-	for _, bee := range c.Bees {
-		finalized += bee.MaterializePhase()
-	}
+	c.materializePass(&r)
 	// Janitor: anyone may finalize a task whose reveal window closed
 	// (slashing non-revealers); the treasury plays that role here so
 	// stuck tasks always resolve to finalized-or-failed.
@@ -271,11 +287,9 @@ func (c *Cluster) ProcessRound() int {
 			c.SubmitCall(c.treasury, contracts.MethodFinalize, contracts.FinalizeParams{TaskID: id}, 0)
 		}
 		c.Seal()
-		for _, bee := range c.Bees {
-			finalized += bee.MaterializePhase()
-		}
+		c.materializePass(&r)
 	}
-	return finalized
+	return r
 }
 
 // RunUntilIdle processes rounds until no open tasks remain (bounded by

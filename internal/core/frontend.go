@@ -363,21 +363,9 @@ func (f *Frontend) loadShards(shards []int) (map[int]*index.Segment, netsim.Cost
 	segs := make([]*index.Segment, len(shards))
 	costs := make([]netsim.Cost, len(shards))
 	errs := make([]error, len(shards))
-	if len(shards) <= 1 || f.cluster.Net.SharedStream() {
-		for i, shard := range shards {
-			segs[i], costs[i], errs[i] = f.loadShard(shard)
-		}
-	} else {
-		var wg sync.WaitGroup
-		for i, shard := range shards {
-			wg.Add(1)
-			go func(i, shard int) {
-				defer wg.Done()
-				segs[i], costs[i], errs[i] = f.loadShard(shard)
-			}(i, shard)
-		}
-		wg.Wait()
-	}
+	runWave(len(shards), !f.cluster.Net.SharedStream(), func(i int) {
+		segs[i], costs[i], errs[i] = f.loadShard(shards[i])
+	})
 	out := make(map[int]*index.Segment, len(shards))
 	var cost netsim.Cost
 	var firstErr error

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/hex"
+	"errors"
 	"fmt"
 
 	"repro/internal/chain"
@@ -33,6 +34,74 @@ func (c *Cluster) Publish(owner *chain.Account, peer *store.Peer, url, text stri
 		Links: links,
 	}, 0)
 	return PublishReceipt{URL: url, CID: cid, Tx: tx, Cost: cost}, nil
+}
+
+// BatchPage is one page of a batch publish.
+type BatchPage struct {
+	URL   string
+	Text  string
+	Links []string
+}
+
+// BatchReceipt reports the creator side of one batch publish: the
+// content stores (costed as one parallel wave — each page is an
+// independent upload) and the single registration transaction that
+// creates the round's batch index task.
+type BatchReceipt struct {
+	Pages     int
+	Tx        *chain.Tx
+	StoreCost netsim.Cost
+}
+
+// ErrBatchInvalid marks a publish batch refused by pre-flight
+// validation (empty, duplicate URL, foreign-owned URL) — the batch is
+// the caller's fault and nothing was stored or submitted. Match with
+// errors.Is.
+var ErrBatchInvalid = errors.New("core: invalid publish batch")
+
+// PublishBatch runs the creator pipeline for a whole batch: store every
+// page's content on the given DWeb peer, then register all URL→CID
+// bindings in ONE smart-contract transaction, which creates ONE index
+// task covering the batch. The transaction executes at the next Seal;
+// drive ProcessRound to have bees index it.
+//
+// Foreseeable rejections (duplicate or foreign-owned URLs) fail
+// pre-flight with ErrBatchInvalid before any content is stored or any
+// block sealed; the contract re-validates atomically at execution, so
+// callers should still check the transaction receipt after sealing.
+func (c *Cluster) PublishBatch(owner *chain.Account, peer *store.Peer, pages []BatchPage) (BatchReceipt, error) {
+	if len(pages) == 0 {
+		return BatchReceipt{}, fmt.Errorf("%w: no pages", ErrBatchInvalid)
+	}
+	seen := make(map[string]bool, len(pages))
+	for _, p := range pages {
+		if p.URL == "" {
+			return BatchReceipt{}, fmt.Errorf("%w: page with empty URL", ErrBatchInvalid)
+		}
+		if seen[p.URL] {
+			return BatchReceipt{}, fmt.Errorf("%w: %q listed twice", ErrBatchInvalid, p.URL)
+		}
+		seen[p.URL] = true
+		if rec, exists := c.QB.Page(p.URL); exists && rec.Owner != owner.Address() {
+			return BatchReceipt{}, fmt.Errorf("%w: %q is owned by %s", ErrBatchInvalid, p.URL, rec.Owner.Short())
+		}
+	}
+	params := contracts.PublishBatchParams{Pages: make([]contracts.PublishParams, 0, len(pages))}
+	var storeCost netsim.Cost
+	for _, p := range pages {
+		cid, cost, err := peer.Add([]byte(p.Text))
+		if err != nil {
+			return BatchReceipt{}, fmt.Errorf("core: storing %q: %w", p.URL, err)
+		}
+		storeCost = storeCost.Par(cost)
+		params.Pages = append(params.Pages, contracts.PublishParams{
+			URL:   p.URL,
+			CID:   cid.String(),
+			Links: p.Links,
+		})
+	}
+	tx := c.SubmitCall(owner, contracts.MethodPublishBatch, params, 0)
+	return BatchReceipt{Pages: len(pages), Tx: tx, StoreCost: storeCost}, nil
 }
 
 // cidFromHex parses a hex CID recorded on chain.

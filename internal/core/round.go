@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/contracts"
+	"repro/internal/netsim"
+)
+
+// This file is the write-side round engine: the concurrent, deterministic
+// drive train behind ProcessRound. Each round runs three waves —
+//
+//  1. commit: every bee fetches content and builds its result on its own
+//     goroutine (per-bee compute is independent: own pending map, own
+//     DWeb peer, read-locked contract views); commitments are then
+//     submitted sequentially in bee order so transaction order is stable;
+//  2. reveal: cheap on-chain calls, sequential;
+//  3. materialize: bees write their winning immutable segments in a
+//     goroutine wave, then the round's contributions are grouped by
+//     shard and every touched shard gets exactly ONE pointer
+//     read-modify-write (and at most one compaction) no matter how many
+//     segments landed on it, plus one global stats bump for the whole
+//     round. A round with K segments over S shards costs O(S) mutable
+//     DHT round trips, not O(K·S).
+//
+// Determinism contract: with the default per-link netsim streams the
+// same seed produces byte-identical DHT state (shard pointers, segments,
+// stats) whether the waves fan out or run sequentially
+// (Config.ParallelRounds=false, or SharedStream mode). Wave costs fold
+// with Par in slot order, mirroring Frontend.loadShards.
+
+// RoundError is one recorded write-path failure: which bee, which task
+// (or shard), at which pipeline stage. The zero Shard value is
+// meaningful, so "not shard-scoped" is -1.
+type RoundError struct {
+	Bee   string
+	Task  string // empty for shard- or stats-scoped failures
+	Shard int    // -1 when the failure is not shard-scoped
+	Stage string // "build" | "decode" | "segment-write" | "shard-append" | "compact" | "stats"
+	Err   error
+}
+
+// Error implements error.
+func (e RoundError) Error() string {
+	where := e.Task
+	if e.Shard >= 0 {
+		where = fmt.Sprintf("shard %d", e.Shard)
+	}
+	return fmt.Sprintf("core: bee %s: %s %s: %v", e.Bee, e.Stage, where, e.Err)
+}
+
+// RoundReceipt reports one ProcessRound: what was materialized, the
+// simulated cost of the round's waves, the mutable-DHT write counters
+// the batching claims are asserted against, and every write-path error
+// the round surfaced (instead of swallowing).
+type RoundReceipt struct {
+	// Materialized counts tasks whose winning results landed this round
+	// (index segments written plus finalized rank tasks).
+	Materialized int
+
+	// CommitWave is the commit compute as the bees experienced it — a
+	// parallel wave, the slowest bee. CommitSerial is what a sequential
+	// driver would have paid (the sum); their ratio is the write-side
+	// concurrency speedup BenchmarkIngest reports.
+	CommitWave   netsim.Cost
+	CommitSerial netsim.Cost
+	// MaterializeWave / MaterializeSerial account the materialize phase
+	// the same way: segment-write wave, then per-shard pointer wave,
+	// then the stats bump.
+	MaterializeWave   netsim.Cost
+	MaterializeSerial netsim.Cost
+	// StoreCost is the content-store wave of the publish step that
+	// preceded this round (set by Engine.PublishBatch; zero for plain
+	// rounds).
+	StoreCost netsim.Cost
+
+	// SegmentWrites counts immutable segment puts; PointerWrites counts
+	// shard-pointer read-modify-writes (at most one per touched shard
+	// per materialize pass); Compactions counts chain merges; StatsWrites
+	// counts global-stats bumps (at most one per pass).
+	SegmentWrites int
+	PointerWrites int
+	Compactions   int
+	StatsWrites   int
+
+	// Errors lists every write-path failure of the round, also recorded
+	// on the failing bee's Errs.
+	Errors []RoundError
+}
+
+// Wave returns the round's total simulated makespan: publish store wave
+// (if any), commit wave and materialize wave in sequence.
+func (r RoundReceipt) Wave() netsim.Cost {
+	return r.StoreCost.Seq(r.CommitWave).Seq(r.MaterializeWave)
+}
+
+// Serial returns what a fully sequential driver would have paid for the
+// same round.
+func (r RoundReceipt) Serial() netsim.Cost {
+	return r.StoreCost.Seq(r.CommitSerial).Seq(r.MaterializeSerial)
+}
+
+// contribution is one winning index segment's input to the round's
+// batched materialization: the shards its terms hash to and its
+// first-version document/token counts for the stats bump.
+type contribution struct {
+	bee     *WorkerBee
+	taskID  string
+	digest  string
+	shards  []int // sorted
+	newDocs int
+	tokens  uint64
+}
+
+// parallelRounds reports whether the round engine may fan its waves out
+// across goroutines: enabled by config and running on per-link netsim
+// streams (the legacy shared stream serializes, as in loadShards, so
+// historical golden costs cannot shift).
+func (c *Cluster) parallelRounds() bool {
+	return c.cfg.ParallelRounds && !c.Net.SharedStream()
+}
+
+// runWave executes fn(0..n-1), concurrently when parallel is set (and
+// the wave has more than one leg), sequentially otherwise. Shared by
+// the round engine's waves (gated on parallelRounds) and the query
+// side's shard loads (gated on the netsim stream mode alone). Callers
+// write results into index-addressed slots so both execution modes
+// produce identical state.
+func runWave(n int, parallel bool, fn func(i int)) {
+	if n <= 1 || !parallel {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// commitWave fans the bees' commit compute out as one goroutine wave,
+// then submits the resulting commitments sequentially in bee order.
+func (c *Cluster) commitWave(r *RoundReceipt) {
+	n := len(c.Bees)
+	commits := make([][]contracts.CommitParams, n)
+	costs := make([]netsim.Cost, n)
+	errs := make([][]RoundError, n)
+	runWave(n, c.parallelRounds(), func(i int) {
+		commits[i], costs[i], errs[i] = c.Bees[i].prepareCommits()
+	})
+	for i, b := range c.Bees {
+		b.Cost = b.Cost.Seq(costs[i])
+		b.Errs = append(b.Errs, errs[i]...)
+		r.Errors = append(r.Errors, errs[i]...)
+		r.CommitWave = r.CommitWave.Par(costs[i])
+		r.CommitSerial = r.CommitSerial.Seq(costs[i])
+		for _, params := range commits[i] {
+			c.SubmitCall(b.Account, contracts.MethodCommit, params, 0)
+		}
+	}
+}
+
+// materializePass runs one batched materialize phase: a per-bee
+// goroutine wave writes the winning immutable segments and collects
+// contributions, then the contributions are grouped by shard and each
+// touched shard gets one pointer RMW (and at most one compaction) on
+// the first contributing bee's DHT node, and finally the whole round's
+// stats land in one bump. May run twice per round (the janitor path
+// finalizes stuck tasks mid-round); counters and costs accumulate.
+func (c *Cluster) materializePass(r *RoundReceipt) {
+	n := len(c.Bees)
+	contribsBy := make([][]contribution, n)
+	counts := make([]int, n)
+	costs := make([]netsim.Cost, n)
+	errs := make([][]RoundError, n)
+	runWave(n, c.parallelRounds(), func(i int) {
+		contribsBy[i], counts[i], costs[i], errs[i] = c.Bees[i].collectWins()
+	})
+
+	var collectWave, collectSerial netsim.Cost
+	var all []contribution
+	for i, b := range c.Bees {
+		b.Cost = b.Cost.Seq(costs[i])
+		b.Errs = append(b.Errs, errs[i]...)
+		r.Errors = append(r.Errors, errs[i]...)
+		collectWave = collectWave.Par(costs[i])
+		collectSerial = collectSerial.Seq(costs[i])
+		r.Materialized += counts[i]
+		r.SegmentWrites += len(contribsBy[i])
+		all = append(all, contribsBy[i]...)
+	}
+
+	// Deterministic batch order: contributions sorted by task ID (each
+	// task has exactly one designated writer, so IDs are unique), shards
+	// ascending. The digest order within a shard pointer and the draw
+	// order on every DHT link follow from this, not from goroutine
+	// scheduling or map iteration.
+	sort.Slice(all, func(i, j int) bool { return all[i].taskID < all[j].taskID })
+	digestsByShard := make(map[int][]string)
+	writerByShard := make(map[int]*WorkerBee)
+	var shardOrder []int
+	for _, ctr := range all {
+		for _, s := range ctr.shards {
+			if _, seen := writerByShard[s]; !seen {
+				writerByShard[s] = ctr.bee
+				shardOrder = append(shardOrder, s)
+			}
+			digestsByShard[s] = append(digestsByShard[s], ctr.digest)
+		}
+	}
+	sort.Ints(shardOrder)
+
+	shardCosts := make([]netsim.Cost, len(shardOrder))
+	shardWrote := make([]bool, len(shardOrder))
+	shardCompacted := make([]bool, len(shardOrder))
+	shardErrs := make([][]RoundError, len(shardOrder))
+	runWave(len(shardOrder), c.parallelRounds(), func(j int) {
+		s := shardOrder[j]
+		w := writerByShard[s]
+		ptr, cost, wrote, err := appendSegmentsToShard(w.Peer.DHT(), s, digestsByShard[s])
+		shardCosts[j] = cost
+		shardWrote[j] = wrote
+		if err != nil {
+			shardErrs[j] = append(shardErrs[j], RoundError{Bee: w.Name, Shard: s, Stage: "shard-append", Err: err})
+			return
+		}
+		cost, compacted, err := compactShardFromPtr(w.Peer.DHT(), s, ptr)
+		shardCosts[j] = shardCosts[j].Seq(cost)
+		shardCompacted[j] = compacted
+		if err != nil {
+			shardErrs[j] = append(shardErrs[j], RoundError{Bee: w.Name, Shard: s, Stage: "compact", Err: err})
+		}
+	})
+	var shardWave, shardSerial netsim.Cost
+	for j, s := range shardOrder {
+		w := writerByShard[s]
+		w.Cost = w.Cost.Seq(shardCosts[j])
+		w.Errs = append(w.Errs, shardErrs[j]...)
+		r.Errors = append(r.Errors, shardErrs[j]...)
+		shardWave = shardWave.Par(shardCosts[j])
+		shardSerial = shardSerial.Seq(shardCosts[j])
+		if shardWrote[j] {
+			r.PointerWrites++
+		}
+		if shardCompacted[j] {
+			r.Compactions++
+		}
+	}
+
+	// One stats bump for the whole pass, aggregated across every
+	// contribution (re-published pages contribute zero but the version
+	// still advances, as the per-task path always did).
+	var statsCost netsim.Cost
+	if len(all) > 0 {
+		var docs int
+		var tokens uint64
+		for _, ctr := range all {
+			docs += ctr.newDocs
+			tokens += ctr.tokens
+		}
+		w := all[0].bee
+		cost, err := bumpStats(w.Peer.DHT(), docs, tokens)
+		statsCost = cost
+		w.Cost = w.Cost.Seq(cost)
+		r.StatsWrites++
+		if err != nil {
+			re := RoundError{Bee: w.Name, Shard: -1, Stage: "stats", Err: err}
+			w.Errs = append(w.Errs, re)
+			r.Errors = append(r.Errors, re)
+		}
+	}
+
+	r.MaterializeWave = r.MaterializeWave.Seq(collectWave).Seq(shardWave).Seq(statsCost)
+	r.MaterializeSerial = r.MaterializeSerial.Seq(collectSerial).Seq(shardSerial).Seq(statsCost)
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/contracts"
+)
+
+// TestRoundBatchMaterializationDHTPutCounts is the O(shards) claim: a
+// round that finalizes many index tasks must issue at most one
+// shard-pointer read-modify-write per touched shard and exactly one
+// stats bump — not one per segment per shard, as the per-task path
+// paid. Asserted both through the receipt's write counters and through
+// the pointer records themselves (one RMW ⇒ Version 1 even with many
+// digests in the chain).
+func TestRoundBatchMaterializationDHTPutCounts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumPeers = 10
+	cfg.NumBees = 3
+	cfg.NumShards = 4 // concentrate segments so shards receive several each
+	c := NewCluster(cfg)
+	alice := c.NewAccount("alice", 100_000)
+	c.Seal()
+
+	const docs = 6 // small enough that no chain reaches the compaction threshold
+	for i := 0; i < docs; i++ {
+		if _, err := c.Publish(alice, c.Peers[i%len(c.Peers)], fmt.Sprintf("dweb://batch/%02d", i),
+			fmt.Sprintf("batched materialization workload document %02d body content", i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Seal() // all 6 index tasks created in one block
+
+	rr := c.ProcessRoundReceipt()
+	if rr.Materialized != docs {
+		t.Fatalf("materialized = %d, want %d (one round should finalize all)", rr.Materialized, docs)
+	}
+	if rr.SegmentWrites != docs {
+		t.Fatalf("segment writes = %d, want %d (one immutable put per task)", rr.SegmentWrites, docs)
+	}
+	if rr.PointerWrites > cfg.NumShards {
+		t.Fatalf("pointer writes = %d over %d shards; batching must bound them by the shard count",
+			rr.PointerWrites, cfg.NumShards)
+	}
+	if rr.StatsWrites != 1 {
+		t.Fatalf("stats writes = %d, want exactly 1 per round", rr.StatsWrites)
+	}
+	if len(rr.Errors) != 0 {
+		t.Fatalf("round errors: %v", rr.Errors)
+	}
+
+	// Each touched shard saw exactly one pointer write (Version 1) even
+	// though several segments landed on it.
+	reader := c.Peers[1].DHT()
+	multi := false
+	touched := 0
+	for shard := 0; shard < cfg.NumShards; shard++ {
+		ptr, _, err := readShardPointer(reader, shard)
+		if err != nil {
+			continue // shard untouched by this vocabulary
+		}
+		touched++
+		if ptr.Version != 1 {
+			t.Fatalf("shard %d pointer version = %d after one round, want 1 (one RMW)", shard, ptr.Version)
+		}
+		if len(ptr.Digests) > 1 {
+			multi = true
+		}
+	}
+	if touched == 0 {
+		t.Fatal("no shard received any segment")
+	}
+	if touched != rr.PointerWrites {
+		t.Fatalf("pointer writes = %d but %d shards touched", rr.PointerWrites, touched)
+	}
+	if !multi {
+		t.Fatal("test vocabulary never put two segments on one shard; the O(K·S) vs O(S) distinction was not exercised")
+	}
+
+	// One stats bump: Version 1, all documents counted.
+	st, _ := readStats(reader)
+	if st.Version != 1 || st.Docs != docs {
+		t.Fatalf("stats = %+v, want Version 1 / Docs %d", st, docs)
+	}
+}
+
+// TestRoundReceiptWaveVsSerial sanity-checks the receipt's two cost
+// readings: the wave makespan can never exceed the serial sum, and with
+// several bees sharing a round's work it must be strictly cheaper.
+func TestRoundReceiptWaveVsSerial(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumPeers = 12
+	cfg.NumBees = 4
+	c := NewCluster(cfg)
+	alice := c.NewAccount("alice", 100_000)
+	c.Seal()
+	for i := 0; i < 12; i++ {
+		if _, err := c.Publish(alice, c.Peers[i%len(c.Peers)], fmt.Sprintf("dweb://wave/%02d", i),
+			fmt.Sprintf("wave accounting document %02d", i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Seal()
+	rr := c.ProcessRoundReceipt()
+	if rr.Wave().Latency > rr.Serial().Latency {
+		t.Fatalf("wave %v exceeds serial %v", rr.Wave().Latency, rr.Serial().Latency)
+	}
+	if rr.Wave().Latency >= rr.Serial().Latency {
+		t.Fatalf("wave %v not cheaper than serial %v with %d bees", rr.Wave().Latency, rr.Serial().Latency, cfg.NumBees)
+	}
+	if rr.Wave().Bytes != rr.Serial().Bytes {
+		t.Fatalf("wave moved %d bytes, serial %d — parallelism must not change traffic", rr.Wave().Bytes, rr.Serial().Bytes)
+	}
+}
+
+// TestRoundErrorsSurfaced makes the write path fail (the only provider
+// of the published content goes down before the bees fetch it) and
+// asserts the failure lands in the round's error summary and on the
+// failing bees — not silently swallowed.
+func TestRoundErrorsSurfaced(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumPeers = 10
+	cfg.NumBees = 3
+	c := NewCluster(cfg)
+	alice := c.NewAccount("alice", 10_000)
+	c.Seal()
+	if _, err := c.Publish(alice, c.Peers[0], "dweb://doomed", "content nobody will reach", nil); err != nil {
+		t.Fatal(err)
+	}
+	c.Seal()
+	c.Net.SetDown(c.Peers[0].Addr(), true) // the only content provider
+
+	rr := c.ProcessRoundReceipt()
+	if len(rr.Errors) == 0 {
+		t.Fatal("no round errors surfaced for unreachable content")
+	}
+	for _, re := range rr.Errors {
+		if re.Stage != "build" {
+			t.Fatalf("unexpected stage %q: %v", re.Stage, re)
+		}
+		if re.Bee == "" || re.Task == "" {
+			t.Fatalf("error missing attribution: %+v", re)
+		}
+		if !strings.Contains(re.Error(), re.Task) {
+			t.Fatalf("rendered error %q does not name the task", re.Error())
+		}
+	}
+	// The same failures are recorded on the bees themselves.
+	recorded := 0
+	for _, b := range c.Bees {
+		recorded += len(b.Errs)
+	}
+	if recorded != len(rr.Errors) {
+		t.Fatalf("bees recorded %d errors, receipt has %d", recorded, len(rr.Errors))
+	}
+}
+
+// TestPublishBatchSingleTask: a batch publish creates ONE index task
+// covering every page, the quorum builds one multi-doc segment, and all
+// pages become searchable.
+func TestPublishBatchSingleTask(t *testing.T) {
+	c := smallCluster(t)
+	alice := c.NewAccount("alice", 100_000)
+	c.Seal()
+	pages := []BatchPage{
+		{URL: "dweb://b/one", Text: "falcon migration patterns across continents"},
+		{URL: "dweb://b/two", Text: "falcon nesting habits in city towers"},
+		{URL: "dweb://b/three", Text: "urban towers and their many inhabitants"},
+	}
+	br, err := c.PublishBatch(alice, c.Peers[0], pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Seal()
+	if r := c.Chain.Receipt(br.Tx.Hash()); r == nil || !r.OK {
+		t.Fatalf("batch tx failed: %+v", r)
+	}
+	rr := c.ProcessRoundReceipt()
+	if open, finalized, failed := c.QB.TaskCounts(); open != 0 || finalized != 1 || failed != 0 {
+		t.Fatalf("tasks open=%d finalized=%d failed=%d, want exactly one finalized batch task", open, finalized, failed)
+	}
+	if rr.SegmentWrites != 1 {
+		t.Fatalf("segment writes = %d, want 1 (one segment for the whole batch)", rr.SegmentWrites)
+	}
+	if len(rr.Errors) != 0 {
+		t.Fatalf("round errors: %v", rr.Errors)
+	}
+
+	fe := NewFrontend(c, c.Peers[3])
+	resp, err := fe.Search("falcon", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("falcon results = %+v, want the two falcon pages", resp.Results)
+	}
+	st, _ := readStats(c.Peers[2].DHT())
+	if st.Docs != len(pages) {
+		t.Fatalf("stats docs = %d, want %d", st.Docs, len(pages))
+	}
+}
+
+// TestPublishBatchAtomicRejection: a batch containing a page owned by
+// someone else is refused — at pre-flight, before any content is
+// stored or block sealed — and even a batch transaction that reaches
+// the contract directly (bypassing pre-flight) is rejected atomically,
+// registering none of its pages.
+func TestPublishBatchAtomicRejection(t *testing.T) {
+	c := smallCluster(t)
+	alice := c.NewAccount("alice", 10_000)
+	bob := c.NewAccount("bob", 10_000)
+	c.Seal()
+	if _, err := c.Publish(alice, c.Peers[0], "dweb://alices", "belongs to alice", nil); err != nil {
+		t.Fatal(err)
+	}
+	c.Seal()
+	c.RunUntilIdle(4)
+
+	heightBefore := c.Chain.Height()
+	_, err := c.PublishBatch(bob, c.Peers[1], []BatchPage{
+		{URL: "dweb://bobs/new", Text: "a fresh page from bob"},
+		{URL: "dweb://alices", Text: "bob tries to overwrite alice"},
+	})
+	if !errors.Is(err, ErrBatchInvalid) {
+		t.Fatalf("pre-flight err = %v, want ErrBatchInvalid", err)
+	}
+	if c.Chain.Height() != heightBefore {
+		t.Fatal("rejected batch advanced the chain")
+	}
+	if _, err := c.PublishBatch(bob, c.Peers[1], []BatchPage{
+		{URL: "dweb://dup", Text: "a"}, {URL: "dweb://dup", Text: "b"},
+	}); !errors.Is(err, ErrBatchInvalid) {
+		t.Fatalf("duplicate-URL pre-flight err = %v, want ErrBatchInvalid", err)
+	}
+
+	// Contract-level atomicity: the same foreign-URL batch submitted
+	// directly (no pre-flight) must fail on chain with no partial
+	// registration.
+	tx := c.SubmitCall(bob, contracts.MethodPublishBatch, contracts.PublishBatchParams{
+		Pages: []contracts.PublishParams{
+			{URL: "dweb://bobs/new", CID: "aa"},
+			{URL: "dweb://alices", CID: "bb"},
+		},
+	}, 0)
+	c.Seal()
+	r := c.Chain.Receipt(tx.Hash())
+	if r == nil || r.OK {
+		t.Fatalf("batch with foreign URL must fail on chain: %+v", r)
+	}
+	if _, ok := c.QB.Page("dweb://bobs/new"); ok {
+		t.Fatal("rejected batch leaked a page registration")
+	}
+	if rec, _ := c.QB.Page("dweb://alices"); rec.Owner != alice.Address() {
+		t.Fatal("ownership changed through a rejected batch")
+	}
+}
+
+// TestBatchRepublishCountsStatsOncePerVersion: batch entries carry the
+// page Seq, so re-published pages do not inflate the document count.
+func TestBatchRepublishCountsStatsOncePerVersion(t *testing.T) {
+	c := smallCluster(t)
+	alice := c.NewAccount("alice", 10_000)
+	c.Seal()
+	first := []BatchPage{
+		{URL: "dweb://r/a", Text: "first version alpha words"},
+		{URL: "dweb://r/b", Text: "first version beta words"},
+	}
+	if _, err := c.PublishBatch(alice, c.Peers[0], first); err != nil {
+		t.Fatal(err)
+	}
+	c.Seal()
+	c.RunUntilIdle(4)
+
+	second := []BatchPage{
+		{URL: "dweb://r/a", Text: "second version alpha rewritten"}, // Seq 2: no stats bump
+		{URL: "dweb://r/c", Text: "a brand new gamma page"},         // Seq 1: counted
+	}
+	if _, err := c.PublishBatch(alice, c.Peers[0], second); err != nil {
+		t.Fatal(err)
+	}
+	c.Seal()
+	c.RunUntilIdle(4)
+
+	st, _ := readStats(c.Peers[1].DHT())
+	if st.Docs != 3 {
+		t.Fatalf("stats docs = %d, want 3 (republish must not double-count)", st.Docs)
+	}
+	// Freshness holds across batch republish too.
+	fe := NewFrontend(c, c.Peers[2])
+	if resp, _ := fe.Search("alpha words", 10); len(resp.Results) != 0 {
+		t.Fatalf("stale postings survived batch republish: %+v", resp.Results)
+	}
+	if resp, _ := fe.Search("alpha rewritten", 10); len(resp.Results) != 1 {
+		t.Fatalf("new version not searchable: %+v", resp.Results)
+	}
+}
+
+// TestRoundEngineSequentialModeMatchesParallel drives the same workload
+// through a parallel and a sequential cluster on one seed and diffs the
+// resulting DHT records — the core of the write-side determinism
+// contract (the facade-level soak in ingest_test.go covers the full
+// corpus shape).
+func TestRoundEngineSequentialModeMatchesParallel(t *testing.T) {
+	build := func(parallel bool) *Cluster {
+		cfg := DefaultConfig()
+		cfg.Seed = 42
+		cfg.NumPeers = 10
+		cfg.NumBees = 4
+		cfg.ParallelRounds = parallel
+		c := NewCluster(cfg)
+		alice := c.NewAccount("alice", 100_000)
+		c.Seal()
+		for i := 0; i < 9; i++ {
+			if _, err := c.Publish(alice, c.Peers[i%len(c.Peers)], fmt.Sprintf("dweb://det/%02d", i),
+				fmt.Sprintf("deterministic workload document %02d content", i), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Seal()
+		c.RunUntilIdle(6)
+		return c
+	}
+	par, seq := build(true), build(false)
+	for shard := 0; shard < par.Config().NumShards; shard++ {
+		p1, _, err1 := readShardPointer(par.Peers[1].DHT(), shard)
+		p2, _, err2 := readShardPointer(seq.Peers[1].DHT(), shard)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("shard %d presence diverged: %v vs %v", shard, err1, err2)
+		}
+		if fmt.Sprintf("%+v", p1) != fmt.Sprintf("%+v", p2) {
+			t.Fatalf("shard %d pointer diverged:\nparallel   %+v\nsequential %+v", shard, p1, p2)
+		}
+	}
+	s1, _ := readStats(par.Peers[1].DHT())
+	s2, _ := readStats(seq.Peers[1].DHT())
+	if s1 != s2 {
+		t.Fatalf("stats diverged: %+v vs %+v", s1, s2)
+	}
+}
+
+// TestBatchEntriesRoundTrip covers the task-meta encoding of batches.
+func TestBatchEntriesRoundTrip(t *testing.T) {
+	entries := []contracts.BatchEntry{
+		{URL: "dweb://x", CID: "aa", Seq: 1},
+		{URL: "dweb://y", CID: "bb", Seq: 3},
+	}
+	task := contracts.Task{Meta: map[string]string{"batch": contracts.EncodeBatchEntries(entries)}}
+	got, ok := contracts.BatchEntries(task)
+	if !ok || len(got) != 2 || got[0] != entries[0] || got[1] != entries[1] {
+		t.Fatalf("round trip = %+v ok=%v", got, ok)
+	}
+	if _, ok := contracts.BatchEntries(contracts.Task{Meta: map[string]string{"url": "dweb://x"}}); ok {
+		t.Fatal("non-batch task reported batch entries")
+	}
+}

@@ -26,7 +26,9 @@ type IndexStats struct {
 	Version uint64
 }
 
-const statsKey = "qb:stats"
+// StatsKey names the DHT record holding the global index statistics
+// (exported so determinism soaks can diff raw DHT state).
+const StatsKey = "qb:stats"
 
 func encodeJSON(v any) []byte {
 	b, err := json.Marshal(v)
@@ -55,23 +57,37 @@ func writeShardPointer(d *dht.Node, shard int, ptr ShardPointer) (netsim.Cost, e
 	return cost, err
 }
 
-// appendSegmentToShard reads a shard pointer, appends a digest if absent
-// and writes back the bumped version.
-func appendSegmentToShard(d *dht.Node, shard int, digest string) (netsim.Cost, error) {
-	ptr, cost, err := readShardPointer(d, shard)
+// appendSegmentsToShard reads a shard pointer once, appends every digest
+// not already present (preserving the given order) and writes back one
+// bumped version — the batch read-modify-write of the round engine. A
+// round that lands K segments on a shard costs one RMW, not K. The
+// returned pointer reflects the written state so compaction can reuse it
+// without re-reading; wrote reports whether a pointer write happened.
+func appendSegmentsToShard(d *dht.Node, shard int, digests []string) (ptr ShardPointer, cost netsim.Cost, wrote bool, err error) {
+	ptr, cost, err = readShardPointer(d, shard)
 	if err != nil && err != dht.ErrNotFound {
 		// Unreachable shard record: surface the error.
-		return cost, err
+		return ptr, cost, false, err
 	}
-	for _, existing := range ptr.Digests {
-		if existing == digest {
-			return cost, nil
+	existing := make(map[string]bool, len(ptr.Digests))
+	for _, dg := range ptr.Digests {
+		existing[dg] = true
+	}
+	appended := false
+	for _, dg := range digests {
+		if existing[dg] {
+			continue
 		}
+		existing[dg] = true
+		ptr.Digests = append(ptr.Digests, dg)
+		appended = true
 	}
-	ptr.Digests = append(ptr.Digests, digest)
+	if !appended {
+		return ptr, cost, false, nil
+	}
 	ptr.Version++
 	wcost, err := writeShardPointer(d, shard, ptr)
-	return cost.Seq(wcost), err
+	return ptr, cost.Seq(wcost), err == nil, err
 }
 
 // writeSegment stores an immutable segment record under its digest key.
@@ -101,7 +117,7 @@ func readSegment(d *dht.Node, digestHex string) (*index.Segment, netsim.Cost, er
 // readStats fetches the global index statistics (zero value if absent).
 func readStats(d *dht.Node) (IndexStats, netsim.Cost) {
 	var st IndexStats
-	val, _, cost, err := d.Get(dht.KeyOfString(statsKey))
+	val, _, cost, err := d.Get(dht.KeyOfString(StatsKey))
 	if err != nil {
 		return st, cost
 	}
@@ -117,27 +133,32 @@ func bumpStats(d *dht.Node, addDocs int, addTokens uint64) (netsim.Cost, error) 
 	st.Docs += addDocs
 	st.Tokens += addTokens
 	st.Version++
-	_, wcost, err := d.Put(dht.KeyOfString(statsKey), encodeJSON(st), st.Version)
+	_, wcost, err := d.Put(dht.KeyOfString(StatsKey), encodeJSON(st), st.Version)
 	return cost.Seq(wcost), err
 }
 
-// mergeShardForStore fetches every segment of a shard and compacts them
-// into one when the chain grows long; returns the read cost. Compaction
-// is the off-chain optimization worker bees run so query-time merging
-// stays cheap (ablation A4 measures the effect).
+// compactionThreshold is the chain length at which a shard's segments
+// are merged into one. Compaction is the off-chain optimization worker
+// bees run so query-time merging stays cheap (ablation A4 measures the
+// effect); the round engine checks it at most once per shard per round,
+// against the pointer it just wrote.
 const compactionThreshold = 8
 
-func compactShard(d *dht.Node, shard int) (netsim.Cost, error) {
-	ptr, cost, err := readShardPointer(d, shard)
-	if err != nil || len(ptr.Digests) < compactionThreshold {
-		return cost, err
+// compactShardFromPtr merges a shard's segment chain into one segment
+// when it has grown past the threshold, reusing the caller's
+// already-read pointer (no extra DHT read). Reports whether a
+// compaction happened.
+func compactShardFromPtr(d *dht.Node, shard int, ptr ShardPointer) (netsim.Cost, bool, error) {
+	var cost netsim.Cost
+	if len(ptr.Digests) < compactionThreshold {
+		return cost, false, nil
 	}
 	var segs []*index.Segment
 	for _, dg := range ptr.Digests {
 		seg, c2, err := readSegment(d, dg)
 		cost = cost.Seq(c2)
 		if err != nil {
-			return cost, err
+			return cost, false, err
 		}
 		segs = append(segs, seg)
 	}
@@ -147,10 +168,10 @@ func compactShard(d *dht.Node, shard int) (netsim.Cost, error) {
 	wcost, err := writeSegment(d, digest, data)
 	cost = cost.Seq(wcost)
 	if err != nil {
-		return cost, err
+		return cost, false, err
 	}
 	ptr.Digests = []string{digest}
 	ptr.Version++
 	wcost, err = writeShardPointer(d, shard, ptr)
-	return cost.Seq(wcost), err
+	return cost.Seq(wcost), err == nil, err
 }

@@ -218,7 +218,58 @@ func runE7(seed uint64) []*metrics.Table {
 		}
 		t.AddRow(bees, finalized, total, maxMsgs, imbalance, rounds)
 	}
-	return []*metrics.Table{t}
+	return []*metrics.Table{t, runE7b(seed)}
+}
+
+// runE7b measures the concurrent write-side round engine: the same
+// ingest workload, driven round by round, reporting the simulated
+// makespan of the parallel waves (bee commit compute, shard
+// materialization) against what a sequential driver would pay — the
+// round receipts carry both. Pages/s is measured in simulated time
+// against the wave makespan.
+func runE7b(seed uint64) *metrics.Table {
+	const docs = 48
+	t := metrics.NewTable("E7b — concurrent write-side rounds (simulated makespan)",
+		"bees", "serial", "wave", "speedup", "pages/s (sim)", "ptr writes")
+
+	for _, bees := range []int{1, 2, 4, 8} {
+		cfg := core.DefaultConfig()
+		cfg.Seed = seed
+		cfg.NumPeers = 12
+		cfg.NumBees = bees
+		c := core.NewCluster(cfg)
+		pub := c.NewAccount("pub", 1_000_000)
+		c.Seal()
+		for i := 0; i < docs; i++ {
+			if _, err := c.Publish(pub, c.Peers[i%len(c.Peers)], urlOf(i),
+				fmt.Sprintf("ingest round workload document %04d with assorted content", i), nil); err != nil {
+				panic(err)
+			}
+		}
+		c.Seal()
+
+		var serial, wave time.Duration
+		ptrWrites := 0
+		for r := 0; r < 8; r++ {
+			rr := c.ProcessRoundReceipt()
+			serial += rr.Serial().Latency
+			wave += rr.Wave().Latency
+			ptrWrites += rr.PointerWrites
+			if open, _, _ := c.QB.TaskCounts(); open == 0 {
+				break
+			}
+		}
+		speedup := 0.0
+		if wave > 0 {
+			speedup = float64(serial) / float64(wave)
+		}
+		pagesPerSec := 0.0
+		if wave > 0 {
+			pagesPerSec = float64(docs) / wave.Seconds()
+		}
+		t.AddRow(bees, serial, wave, speedup, pagesPerSec, ptrWrites)
+	}
+	return t
 }
 
 // runE8: sequential vs blocked equality, convergence curve, warm-start

@@ -1,0 +1,21 @@
+package index
+
+// BatchDoc is one document of a multi-document segment build.
+type BatchDoc struct {
+	Doc  DocID
+	Text string
+}
+
+// BuildBatch analyzes and indexes a whole batch of documents into one
+// delta segment. Worker bees use it for batch index tasks: a round that
+// ingests N pages then materializes one segment instead of N, so the
+// per-round DHT traffic scales with the shards touched, not the pages
+// published. The result is byte-deterministic for a given (gen, docs)
+// input — the property commit-reveal voting depends on.
+func BuildBatch(gen uint64, docs []BatchDoc) *Segment {
+	b := NewBuilder(gen)
+	for _, d := range docs {
+		b.Add(d.Doc, d.Text)
+	}
+	return b.Build()
+}

@@ -1,0 +1,51 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestBuildBatchMatchesIncrementalBuilder: the batch helper must encode
+// byte-identically to the equivalent sequence of Builder.Add calls —
+// the determinism commit-reveal voting relies on.
+func TestBuildBatchMatchesIncrementalBuilder(t *testing.T) {
+	docs := make([]BatchDoc, 0, 8)
+	for i := 0; i < 8; i++ {
+		docs = append(docs, BatchDoc{
+			Doc:  DocIDOf(fmt.Sprintf("dweb://batch/%d", i)),
+			Text: fmt.Sprintf("document %d shares words with its batch siblings", i),
+		})
+	}
+	batch := BuildBatch(7, docs).Encode()
+
+	b := NewBuilder(7)
+	for _, d := range docs {
+		b.Add(d.Doc, d.Text)
+	}
+	incremental := b.Build().Encode()
+
+	if !bytes.Equal(batch, incremental) {
+		t.Fatal("BuildBatch encoding differs from incremental builder")
+	}
+	// And it is self-deterministic.
+	if !bytes.Equal(batch, BuildBatch(7, docs).Encode()) {
+		t.Fatal("BuildBatch not deterministic")
+	}
+}
+
+// TestBuildBatchRepublishWithinBatch: re-adding a DocID inside one batch
+// keeps only the latest version's postings.
+func TestBuildBatchRepublishWithinBatch(t *testing.T) {
+	doc := DocIDOf("dweb://twice")
+	seg := BuildBatch(1, []BatchDoc{
+		{Doc: doc, Text: "obsolete ancient words"},
+		{Doc: doc, Text: "fresh modern phrasing"},
+	})
+	if pl := seg.Postings(Stem("ancient")); len(pl) != 0 {
+		t.Fatalf("stale postings survived in-batch republish: %+v", pl)
+	}
+	if pl := seg.Postings(Stem("modern")); len(pl) != 1 {
+		t.Fatalf("latest version missing: %+v", pl)
+	}
+}

@@ -78,6 +78,18 @@ func WithCacheBudget(segBytes, chainBytes int64) Option {
 	}
 }
 
+// WithParallelRounds controls whether the write-side round engine fans
+// its work out across goroutines: bee commit compute as one wave per
+// round, then shard materialization as one wave per touched shard. On
+// by default. DHT state is byte-identical either way (the round engine
+// orders every write deterministically), so turning it off only trades
+// wall-clock for a single-threaded drive — useful for golden-cost
+// comparisons and the determinism soak. Shared-stream mode
+// (WithSharedNetStream) forces rounds sequential regardless.
+func WithParallelRounds(on bool) Option {
+	return func(c *core.Config) { c.ParallelRounds = on }
+}
+
 // WithSharedNetStream switches the network simulation back to the legacy
 // single RNG stream for jitter/drop draws. Simulated costs then match
 // historical golden values exactly, but concurrent queries lose per-seed

@@ -1,6 +1,7 @@
 package queenbee
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 
@@ -19,9 +20,13 @@ import (
 // byte-identical results whether queries run sequentially or raced
 // across goroutines (cmd/queenbeed serves HTTP on exactly this
 // contract; docs/serving.md has the design). Mutating methods (Publish,
-// Run, NewAccount, RegisterAd, Click, ComputeRanks, ...) remain a
-// single deterministic driver: do not run them concurrently with each
-// other or with queries.
+// PublishBatch, Run, NewAccount, RegisterAd, Click, ComputeRanks, ...)
+// remain a single deterministic driver: do not run them concurrently
+// with each other or with queries. Inside that single driver the write
+// side is itself concurrent — ProcessRound fans bee compute and shard
+// materialization out as goroutine waves (docs/indexing.md) — without
+// costing determinism: same-seed runs produce byte-identical DHT state
+// whether rounds run parallel or sequential (WithParallelRounds).
 type Engine struct {
 	// Cluster exposes the full simulation for advanced use (experiment
 	// harnesses, fault injection). Most callers never need it.
@@ -95,11 +100,64 @@ func (e *Engine) Publish(owner *Account, url, text string, links []string) error
 	return nil
 }
 
+// Page is one document of a batch publish.
+type Page = core.BatchPage
+
+// ErrBatchRejected marks a publish batch refused by validation —
+// pre-flight (empty, duplicate URL, foreign-owned URL) or the
+// contract's atomic on-chain check. The deployment is unchanged; the
+// batch is the caller's fault. Match with errors.Is; other PublishBatch
+// errors are infrastructure failures (e.g. the content store).
+var ErrBatchRejected = errors.New("queenbee: publish batch rejected")
+
+// RoundReceipt reports one write-side protocol round: tasks
+// materialized, wave vs serial simulated costs (their ratio is the
+// concurrency speedup of the round engine), mutable-DHT write counters,
+// and the round's error summary. Returned by PublishBatch and RunRound.
+type RoundReceipt = core.RoundReceipt
+
+// RoundError is one recorded write-path failure of a round (see
+// RoundReceipt.Errors).
+type RoundError = core.RoundError
+
+// PublishBatch stores every page's content on the DWeb, registers all of
+// them in ONE smart-contract transaction — which creates ONE index task
+// for the whole batch, so the assigned quorum builds a single multi-doc
+// segment — and drives one protocol round to index them. Ingesting N
+// pages this way costs one commit-reveal cycle and O(shards) mutable
+// DHT writes instead of N cycles and O(N·shards).
+//
+// The batch is atomic: if any page fails validation (foreign ownership,
+// duplicate URL in the batch), nothing is stored or registered and the
+// returned error matches ErrBatchRejected.
+func (e *Engine) PublishBatch(owner *Account, pages []Page) (RoundReceipt, error) {
+	br, err := e.Cluster.PublishBatch(owner.acct, e.Cluster.RandomPeer(), pages)
+	if errors.Is(err, core.ErrBatchInvalid) {
+		return RoundReceipt{}, fmt.Errorf("%w: %w", ErrBatchRejected, err)
+	}
+	if err != nil {
+		return RoundReceipt{}, err
+	}
+	e.Cluster.Seal()
+	if r := e.Cluster.Chain.Receipt(br.Tx.Hash()); r == nil || !r.OK {
+		return RoundReceipt{}, fmt.Errorf("%w: %s", ErrBatchRejected, receiptErr(r))
+	}
+	rr := e.Cluster.ProcessRoundReceipt()
+	rr.StoreCost = br.StoreCost
+	return rr, nil
+}
+
 // Run drives n protocol rounds (bees commit, reveal, materialize).
 func (e *Engine) Run(n int) {
 	for i := 0; i < n; i++ {
 		e.Cluster.ProcessRound()
 	}
+}
+
+// RunRound drives one protocol round and returns its full receipt —
+// wave costs, DHT write counters and the error summary.
+func (e *Engine) RunRound() RoundReceipt {
+	return e.Cluster.ProcessRoundReceipt()
 }
 
 // RunUntilIdle drives rounds until no open tasks remain.
