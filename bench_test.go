@@ -11,6 +11,7 @@ package queenbee
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"testing"
 
@@ -52,6 +53,7 @@ func BenchmarkE10Incentives(b *testing.B) { benchExperiment(b, "E10") }
 func BenchmarkE11Collusion(b *testing.B)  { benchExperiment(b, "E11") }
 func BenchmarkE12Scraper(b *testing.B)    { benchExperiment(b, "E12") }
 func BenchmarkE13AdMarket(b *testing.B)   { benchExperiment(b, "E13") }
+func BenchmarkE14Serving(b *testing.B)    { benchExperiment(b, "E14") }
 
 // --- micro-benchmarks -------------------------------------------------
 
@@ -372,34 +374,49 @@ func BenchmarkSearch(b *testing.B) {
 }
 
 // BenchmarkConcurrentSearch measures serving throughput against one
-// shared engine as the client count grows: every iteration runs each
-// client's mixed workload (AND/OR/phrase/parsed/site:/paginated) on its
-// own goroutine. Two throughput readings matter:
+// shared engine as the client count grows — plus a pooled serving-tier
+// variant (pool=4, hedged). Every iteration runs each client's mixed
+// workload (AND/OR/phrase/parsed/site:/paginated) on its own goroutine.
+// The readings:
 //
 //   - sim_q/s: aggregate queries per simulated second — the serving
-//     model's currency, where concurrent clients overlap their network
-//     waves (makespan = slowest client) instead of queueing behind a
-//     single driver (makespan = sum). This is the ≥4×-at-8-clients
-//     claim, independent of host core count.
+//     model's currency. For pool=1 the makespan is the slowest client
+//     (concurrent clients overlap their network waves instead of
+//     queueing behind a single driver: the ≥4×-at-8-clients claim);
+//     for the pooled variant it is the busiest *frontend* (each
+//     frontend serializes its own queries in simulated time), so
+//     sim_speedup there is the pool's load-spread win.
+//   - sim_p99_ms: the p99 simulated per-query latency — the tail that
+//     hedged reads attack.
 //   - ns/op wall time, which additionally tracks real contention on the
 //     engine's caches, singleflight and netsim streams (and scales with
 //     cores, which CI runners may have only one of).
 func BenchmarkConcurrentSearch(b *testing.B) {
-	for _, clients := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
-			e, corp := soakEngine(b, 3, 24)
+	shapes := []struct{ clients, pool int }{{1, 1}, {2, 1}, {4, 1}, {8, 1}, {8, 4}}
+	for _, sh := range shapes {
+		name := fmt.Sprintf("clients=%d", sh.clients)
+		var opts []Option
+		if sh.pool > 1 {
+			name += fmt.Sprintf("/pool=%d", sh.pool)
+			opts = append(opts, WithFrontendPool(sh.pool), WithHedgedReads(true))
+		}
+		b.Run(name, func(b *testing.B) {
+			e, corp := soakEngine(b, 3, 24, opts...)
 			queriesPerClient := int64(len(soakWorkload(corp, 0)))
+			var latMu sync.Mutex
+			var lats []float64 // simulated ms per query
 			b.ReportAllocs()
 			b.ResetTimer()
 			var simSerial, simConcurrent, queries int64
 			for i := 0; i < b.N; i++ {
-				perClient := make([]int64, clients)
+				perClient := make([]int64, sh.clients)
 				var wg sync.WaitGroup
-				for c := 0; c < clients; c++ {
+				for c := 0; c < sh.clients; c++ {
 					wg.Add(1)
 					go func(c int) {
 						defer wg.Done()
 						var sum int64
+						local := make([]float64, 0, queriesPerClient)
 						for _, q := range soakWorkload(corp, c) {
 							resp, err := q.run(e)
 							if err != nil {
@@ -407,8 +424,12 @@ func BenchmarkConcurrentSearch(b *testing.B) {
 								return
 							}
 							sum += int64(resp.Cost.Latency)
+							local = append(local, float64(resp.Cost.Latency)/1e6)
 						}
 						perClient[c] = sum
+						latMu.Lock()
+						lats = append(lats, local...)
+						latMu.Unlock()
 					}(c)
 				}
 				wg.Wait()
@@ -416,12 +437,26 @@ func BenchmarkConcurrentSearch(b *testing.B) {
 					simSerial += s
 				}
 				simConcurrent += maxInt64(perClient)
-				queries += int64(clients) * queriesPerClient
+				queries += int64(sh.clients) * queriesPerClient
 			}
 			b.StopTimer()
+			if sh.pool > 1 {
+				// The serving tier's own makespan: the busiest frontend,
+				// accumulated over every iteration.
+				var sum, busiest int64
+				for _, f := range e.PoolStats().Frontends {
+					sum += int64(f.BusySim)
+					busiest = max(busiest, int64(f.BusySim))
+				}
+				simSerial, simConcurrent = sum, busiest
+			}
 			if simConcurrent > 0 {
 				b.ReportMetric(float64(queries)/(float64(simConcurrent)/1e9), "sim_q/s")
 				b.ReportMetric(float64(simSerial)/float64(simConcurrent), "sim_speedup")
+			}
+			if len(lats) > 0 {
+				sort.Float64s(lats)
+				b.ReportMetric(lats[len(lats)*99/100], "sim_p99_ms")
 			}
 		})
 	}

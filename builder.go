@@ -1,6 +1,10 @@
 package queenbee
 
 import (
+	"context"
+	"errors"
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/query"
@@ -24,6 +28,11 @@ var (
 	// ErrShardUnavailable means an index shard could not be loaded from
 	// the DHT (node down, partition, tampered segment).
 	ErrShardUnavailable = core.ErrShardUnavailable
+	// ErrDeadlineExceeded means the query's request lifecycle ended
+	// first: its simulated deadline passed (Deadline,
+	// WithDefaultDeadline) or its context was cancelled. The response
+	// carries a partial Explain trace costing exactly the work that ran.
+	ErrDeadlineExceeded = core.ErrDeadlineExceeded
 )
 
 // Explain is the structured execution trace of one query: the analyzed
@@ -65,17 +74,29 @@ type Response struct {
 // Builders are single-use: configure, then Run once.
 type QueryBuilder struct {
 	engine    *Engine
+	ctx       context.Context
 	raw       string
 	mode      core.PlanMode
 	limit     int
 	offset    int
 	snippets  bool
 	explainOn bool
+	deadline  time.Duration
 }
 
 // Query starts a structured query over the deployment's index.
 func (e *Engine) Query(raw string) *QueryBuilder {
 	return &QueryBuilder{engine: e, raw: raw, limit: 10}
+}
+
+// QueryCtx is Query with a request lifecycle: cancelling ctx abandons
+// the query's remaining simulated waves and Run fails with
+// ErrDeadlineExceeded. Combine with Deadline for a simulated latency
+// bound.
+func (e *Engine) QueryCtx(ctx context.Context, raw string) *QueryBuilder {
+	b := e.Query(raw)
+	b.ctx = ctx
+	return b
 }
 
 // All switches to the flat conjunctive mode: every analyzed term must
@@ -139,17 +160,43 @@ func (b *QueryBuilder) Explain() *QueryBuilder {
 	return b
 }
 
+// Deadline bounds the query's simulated latency: once the accumulated
+// simulated cost reaches d at a checkpoint, the remaining waves are
+// abandoned and Run fails with ErrDeadlineExceeded plus a partial
+// trace. Deterministic per seed. Zero (the default) inherits the
+// engine's WithDefaultDeadline.
+func (b *QueryBuilder) Deadline(d time.Duration) *QueryBuilder {
+	if d > 0 {
+		b.deadline = d
+	}
+	return b
+}
+
 // Run executes the query and composes the response.
+//
+// On ErrDeadlineExceeded the returned *Response is non-nil alongside
+// the error: it carries no results — the simulated client was gone —
+// but its Cost and Explain record the partial work that ran (serving
+// surfaces return it as the 504 body). Every other error returns a nil
+// response.
 func (b *QueryBuilder) Run() (*Response, error) {
-	resp, err := b.engine.frontend.Execute(core.Query{
+	ctx := b.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	resp, err := b.engine.pool.ExecuteCtx(ctx, core.Query{
 		Raw:      b.raw,
 		Mode:     b.mode,
 		Limit:    b.limit,
 		Offset:   b.offset,
 		Snippets: b.snippets,
 		Explain:  b.explainOn,
+		Deadline: b.deadline,
 	})
 	if err != nil {
+		if errors.Is(err, ErrDeadlineExceeded) {
+			return &Response{Cost: resp.Cost, Explain: resp.Explain}, err
+		}
 		return nil, err
 	}
 	out := &Response{

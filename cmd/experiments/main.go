@@ -7,6 +7,7 @@
 //	experiments -exp E5           # one experiment
 //	experiments -list             # list experiments
 //	experiments -exp E5 -seed 7   # change the deterministic seed
+//	experiments -exp E14          # serving tier: pool size × hedging × deadlines
 package main
 
 import (
@@ -19,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment ID (E1..E13) or 'all'")
+	exp := flag.String("exp", "all", "experiment ID (E1..E14) or 'all'")
 	seed := flag.Uint64("seed", 1, "deterministic simulation seed")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()

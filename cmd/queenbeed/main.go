@@ -6,9 +6,10 @@
 //
 // Endpoints (all JSON):
 //
-//	GET  /search?q=<query>[&page=N][&size=K][&mode=parsed|all|any|phrase][&snippets=1]
+//	GET  /search?q=<query>[&page=N][&size=K][&mode=parsed|all|any|phrase][&snippets=1][&deadline_ms=D]
 //	GET  /explain?q=<query>           — the compiled plan with per-node counts and costs
 //	GET  /healthz                     — liveness, deployment summary, cache occupancy
+//	GET  /stats                       — serving tier: per-frontend load, caches, deadline misses
 //	POST /publish                     — ingest a page batch: {"pages":[{"url","text","links"}]}
 //
 // The default mode speaks the full structured query language (uppercase
@@ -17,6 +18,14 @@
 // length, page size, body size, batch size, handler timeout) keep one
 // abusive client from monopolizing the shared engine; see
 // docs/serving.md.
+//
+// Queries are served by a pool of per-peer frontends behind a
+// deterministic least-loaded balancer (-pool, -hedged); each request's
+// context is threaded into the simulated waves, so a disconnected
+// client abandons its remaining shard fetches. deadline_ms bounds the
+// query's *simulated* latency: a query whose simulated cost would
+// overrun it is stopped mid-wave and answered 504 with the partial
+// execution trace.
 //
 // Publishes run under the server's write lock — the engine's mutation
 // contract is a single deterministic driver — while queries share a
@@ -93,6 +102,7 @@ func newHandler(e *queenbee.Engine, publisher *queenbee.Account, lim limits) htt
 	mux.HandleFunc("GET /search", s.handleSearch)
 	mux.HandleFunc("GET /explain", s.handleExplain)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("POST /publish", s.handlePublish)
 	inner := http.TimeoutHandler(mux, lim.timeout, `{"error":"request timed out"}`)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -142,7 +152,10 @@ type searchJSON struct {
 }
 
 // buildQuery validates the request parameters and assembles the builder,
-// or replies with a 400 and returns nil.
+// or replies with a 400 and returns nil. The request's context rides
+// into the builder: a client that disconnects abandons its query's
+// remaining simulated waves, and deadline_ms bounds the query's
+// simulated latency (504 with partial trace on overrun).
 func (s *server) buildQuery(w http.ResponseWriter, r *http.Request) (*queenbee.QueryBuilder, int, int) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
@@ -161,7 +174,14 @@ func (s *server) buildQuery(w http.ResponseWriter, r *http.Request) (*queenbee.Q
 	if !ok {
 		return nil, 0, 0
 	}
-	b := s.engine.Query(q)
+	deadlineMS, ok := intParam(w, r, "deadline_ms", 0, 1, 1<<20)
+	if !ok {
+		return nil, 0, 0
+	}
+	b := s.engine.QueryCtx(r.Context(), q)
+	if deadlineMS > 0 {
+		b = b.Deadline(time.Duration(deadlineMS) * time.Millisecond)
+	}
 	switch mode := r.URL.Query().Get("mode"); mode {
 	case "", "parsed":
 	case "all":
@@ -190,7 +210,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	resp, err := b.Run()
 	s.mu.RUnlock()
 	if err != nil {
-		writeQueryErr(w, err)
+		writeQueryErr(w, resp, err)
 		return
 	}
 	out := searchJSON{
@@ -232,7 +252,7 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	resp, err := b.Explain().Run()
 	s.mu.RUnlock()
 	if err != nil {
-		writeQueryErr(w, err)
+		writeQueryErr(w, resp, err)
 		return
 	}
 	ex := resp.Explain
@@ -274,6 +294,50 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Workers: sum.Workers,
 		Cache:   s.engine.CacheStats(),
 	})
+}
+
+// frontendJSON is one pool frontend's load in GET /stats.
+type frontendJSON struct {
+	Served    int64               `json:"served"`
+	InFlight  int                 `json:"in_flight"`
+	BusySimUS int64               `json:"busy_sim_us"`
+	Hedges    int64               `json:"hedges"`
+	Cache     queenbee.CacheStats `json:"cache"`
+}
+
+// statsJSON is the GET /stats body: the serving tier's per-frontend
+// load counters, aggregate cache occupancy and deadline misses.
+type statsJSON struct {
+	PoolSize       int                 `json:"pool_size"`
+	Hedged         bool                `json:"hedged"`
+	DeadlineMisses int64               `json:"deadline_misses"`
+	Frontends      []frontendJSON      `json:"frontends"`
+	Cache          queenbee.CacheStats `json:"cache"` // aggregated across the pool
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ps := s.engine.PoolStats()
+	out := statsJSON{
+		PoolSize:       ps.Size,
+		Hedged:         ps.Hedged,
+		DeadlineMisses: ps.DeadlineMisses,
+		Frontends:      make([]frontendJSON, 0, len(ps.Frontends)),
+	}
+	for _, fl := range ps.Frontends {
+		out.Frontends = append(out.Frontends, frontendJSON{
+			Served:    fl.Served,
+			InFlight:  fl.InFlight,
+			BusySimUS: fl.BusySim.Microseconds(),
+			Hedges:    fl.Hedges,
+			Cache:     fl.Cache,
+		})
+		// The aggregate sums the per-frontend snapshots already in hand,
+		// so it always agrees with the rows in this same response.
+		out.Cache.Add(fl.Cache)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // publishJSON is the POST /publish request body.
@@ -394,13 +458,47 @@ func intParam(w http.ResponseWriter, r *http.Request, name string, def, min, max
 	return v, true
 }
 
+// deadlineJSON is the 504 body for a query stopped by its lifecycle:
+// the typed error plus the partial execution trace — what ran before
+// the deadline and what it cost.
+type deadlineJSON struct {
+	Error string             `json:"error"`
+	Cost  costJSON           `json:"cost"`
+	Trace *deadlineTraceJSON `json:"trace,omitempty"`
+}
+
+type deadlineTraceJSON struct {
+	Partial bool                `json:"partial"`
+	Terms   []string            `json:"terms"`
+	Shards  []int               `json:"shards"`
+	Costs   map[string]costJSON `json:"costs"`
+}
+
 // writeQueryErr maps query-surface errors onto HTTP statuses: malformed
 // queries are the client's fault, an unreachable index shard is a
-// (retryable) server-side condition.
-func writeQueryErr(w http.ResponseWriter, err error) {
+// (retryable) server-side condition, and a missed deadline is a 504
+// carrying the partial trace from resp (non-nil exactly on that path).
+func writeQueryErr(w http.ResponseWriter, resp *queenbee.Response, err error) {
 	switch {
 	case errors.Is(err, queenbee.ErrEmptyQuery), errors.Is(err, queenbee.ErrBadSyntax):
 		writeErr(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, queenbee.ErrDeadlineExceeded):
+		out := deadlineJSON{Error: err.Error()}
+		if resp != nil {
+			out.Cost = costOf(resp.Cost)
+			if ex := resp.Explain; ex != nil {
+				out.Trace = &deadlineTraceJSON{
+					Partial: ex.Partial,
+					Terms:   ex.Terms,
+					Shards:  ex.Shards,
+					Costs: map[string]costJSON{
+						"load":  costOf(ex.LoadCost),
+						"total": costOf(ex.TotalCost),
+					},
+				}
+			}
+		}
+		writeJSON(w, http.StatusGatewayTimeout, out)
 	case errors.Is(err, queenbee.ErrShardUnavailable):
 		writeErr(w, http.StatusServiceUnavailable, err.Error())
 	default:
@@ -424,11 +522,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // write side runs to completion before the first query is served. The
 // returned account owns the demo corpus and every page later ingested
 // through POST /publish.
-func buildEngine(seed uint64, peers, bees, docs int) (*queenbee.Engine, *queenbee.Account) {
+func buildEngine(seed uint64, peers, bees, docs, pool int, hedged bool) (*queenbee.Engine, *queenbee.Account) {
 	engine := queenbee.New(
 		queenbee.WithSeed(seed),
 		queenbee.WithPeers(peers),
 		queenbee.WithBees(bees),
+		queenbee.WithFrontendPool(pool),
+		queenbee.WithHedgedReads(hedged),
 	)
 	creator := engine.NewAccount("creator", 1_000_000)
 	ccfg := corpus.DefaultConfig()
@@ -457,6 +557,8 @@ func main() {
 	bees := flag.Int("bees", 4, "worker bees")
 	docs := flag.Int("docs", 40, "synthetic pages to publish before serving")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
+	pool := flag.Int("pool", 4, "frontends in the serving tier")
+	hedged := flag.Bool("hedged", true, "hedge each query's slowest shard fetch on a second frontend")
 	maxQuery := flag.Int("max-query-bytes", 1024, "reject queries longer than this")
 	maxPage := flag.Int("max-page-size", 100, "largest size= a request may ask for")
 	maxBatch := flag.Int("max-batch-pages", 64, "largest page batch POST /publish accepts")
@@ -465,9 +567,10 @@ func main() {
 	flag.Parse()
 
 	log.Printf("booting QueenBee swarm: %d peers, %d bees, %d docs (seed %d)…", *peers, *bees, *docs, *seed)
-	engine, publisher := buildEngine(*seed, *peers, *bees, *docs)
+	engine, publisher := buildEngine(*seed, *peers, *bees, *docs, *pool, *hedged)
 	sum := engine.Stats()
-	log.Printf("index ready: %d pages, chain height %d, %d active bees", sum.Pages, sum.Height, sum.Workers)
+	log.Printf("index ready: %d pages, chain height %d, %d active bees, %d frontends (hedged=%v)",
+		sum.Pages, sum.Height, sum.Workers, engine.PoolStats().Size, engine.PoolStats().Hedged)
 
 	lim := limits{
 		maxQueryBytes: *maxQuery,

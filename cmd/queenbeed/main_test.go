@@ -24,7 +24,7 @@ var (
 func serverHandler(t *testing.T) http.Handler {
 	t.Helper()
 	handlerOnce.Do(func() {
-		engine, publisher := buildEngine(1, 10, 3, 12)
+		engine, publisher := buildEngine(1, 10, 3, 12, 2, true)
 		testH = newHandler(engine, publisher, defaultLimits())
 		ccfg := corpus.DefaultConfig()
 		ccfg.Seed = 1
@@ -147,6 +147,59 @@ func TestHealthzEndpoint(t *testing.T) {
 	}
 	if out.Cache.SegBudget == 0 || out.Cache.ChainBudget == 0 {
 		t.Fatalf("healthz missing cache budgets: %+v", out.Cache)
+	}
+}
+
+// TestStatsEndpoint: the serving tier's counters are visible — pool
+// shape, per-frontend load, aggregate caches — and queries actually
+// move them.
+func TestStatsEndpoint(t *testing.T) {
+	h := serverHandler(t)
+	getJSON(t, h, "/search?q="+testTerm, http.StatusOK, nil)
+	var out statsJSON
+	getJSON(t, h, "/stats", http.StatusOK, &out)
+	if out.PoolSize != 2 || !out.Hedged {
+		t.Fatalf("pool shape = %+v, want size 2 hedged", out)
+	}
+	if len(out.Frontends) != out.PoolSize {
+		t.Fatalf("stats list %d frontends for a pool of %d", len(out.Frontends), out.PoolSize)
+	}
+	var served, busy int64
+	for _, f := range out.Frontends {
+		served += f.Served
+		busy += f.BusySimUS
+	}
+	if served == 0 || busy == 0 {
+		t.Fatalf("no load booked against any frontend: %+v", out.Frontends)
+	}
+	if out.Cache.SegBudget == 0 {
+		t.Fatalf("aggregate cache stats missing budgets: %+v", out.Cache)
+	}
+}
+
+// TestSearchDeadline: a simulated deadline shorter than one shard RTT
+// answers 504 with the typed error and the partial execution trace;
+// the same query without a deadline still succeeds afterwards (the
+// abandoned wave left caches and singleflights consistent).
+func TestSearchDeadline(t *testing.T) {
+	h := serverHandler(t)
+	var out deadlineJSON
+	getJSON(t, h, "/search?q="+testTerm+"&deadline_ms=1", http.StatusGatewayTimeout, &out)
+	if !strings.Contains(out.Error, "deadline") {
+		t.Fatalf("504 error = %q, want the typed deadline error", out.Error)
+	}
+	if out.Trace == nil || !out.Trace.Partial || len(out.Trace.Shards) == 0 {
+		t.Fatalf("504 missing partial trace: %+v", out.Trace)
+	}
+	if out.Cost.Msgs == 0 {
+		t.Fatalf("a deadline-stopped wave still costs the work it ran: %+v", out.Cost)
+	}
+	getJSON(t, h, "/search?q="+testTerm, http.StatusOK, nil)
+
+	var st statsJSON
+	getJSON(t, h, "/stats", http.StatusOK, &st)
+	if st.DeadlineMisses == 0 {
+		t.Fatal("deadline miss not counted in /stats")
 	}
 }
 

@@ -45,10 +45,11 @@ func soakWorkload(corp *corpus.Corpus, client int) []soakQuery {
 	}
 }
 
-// soakEngine publishes a corpus and fully indexes and ranks it.
-func soakEngine(tb testing.TB, seed uint64, docs int) (*Engine, *corpus.Corpus) {
+// soakEngine publishes a corpus and fully indexes and ranks it. Extra
+// options (pool size, hedging, deadlines) append after the base shape.
+func soakEngine(tb testing.TB, seed uint64, docs int, extra ...Option) (*Engine, *corpus.Corpus) {
 	tb.Helper()
-	e := New(WithSeed(seed), WithPeers(12), WithBees(3))
+	e := New(append([]Option{WithSeed(seed), WithPeers(12), WithBees(3)}, extra...)...)
 	owner := e.NewAccount("soak-owner", 10_000_000)
 	ccfg := corpus.DefaultConfig()
 	ccfg.Seed = seed

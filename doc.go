@@ -72,9 +72,32 @@
 // segment digest collapse into one DHT read (singleflight), and both
 // frontend caches are byte-budgeted LRUs (WithCacheBudget) so a
 // long-lived serving deployment stays bounded under publish churn.
-// cmd/queenbeed serves /search, /explain and /healthz over HTTP against
-// one shared engine on exactly this contract; write-side methods remain
-// a single deterministic driver.
+// cmd/queenbeed serves /search, /explain, /healthz and /stats over HTTP
+// against one shared engine on exactly this contract; write-side
+// methods remain a single deterministic driver.
+//
+// # The serving tier: frontend pool, deadlines, hedged reads
+//
+// Queries are served by a pool of per-peer frontends
+// (WithFrontendPool(n)) behind a deterministic least-loaded balancer —
+// fewest in-flight, then least accumulated simulated serving time, then
+// round-robin. Results are frontend-independent, so pool size never
+// changes responses, only costs and serving makespan (pool=4 cuts an
+// 8-client workload's simulated makespan ≈3×). WithHedgedReads
+// duplicates each query's slowest shard fetch on a second frontend:
+// first reply wins the latency, both replies pay bytes, and a failed
+// primary fetch is rescued by the hedge.
+//
+// Every query carries a request lifecycle: context.Context (SearchCtx,
+// QueryCtx) plus a simulated deadline (Deadline, WithDefaultDeadline)
+// thread through the shard, statistics and snippet waves down to the
+// simulated network, whose CallCtx short-circuits cancelled calls
+// without consuming RNG draws — cancellation never desyncs per-seed
+// determinism. A stopped query abandons its remaining wave members,
+// leaves caches and singleflights consistent, and fails with the typed
+// ErrDeadlineExceeded carrying a partial Explain trace costed as the
+// partial wave that actually ran. Same seed + same deadline ⇒ the same
+// stop point, every run.
 //
 // # Concurrent ingest
 //

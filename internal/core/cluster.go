@@ -56,6 +56,19 @@ type Config struct {
 	// where a single RNG stream makes draw order scheduling-dependent.
 	ParallelRounds bool
 
+	// PoolSize is the number of frontends in the serving tier, each
+	// attached to its own peer with its own caches, behind the
+	// deterministic least-loaded balancer (see FrontendPool). Zero or
+	// negative means 1.
+	PoolSize int
+	// HedgedReads duplicates each query's slowest shard fetch on a
+	// second pool frontend: first reply wins the latency, both replies
+	// pay bytes. Needs PoolSize ≥ 2.
+	HedgedReads bool
+	// DefaultDeadline bounds the simulated latency of queries that carry
+	// no deadline of their own (see Query.Deadline). Zero means none.
+	DefaultDeadline time.Duration
+
 	Net      netsim.Config
 	DHT      dht.Config
 	Peer     store.PeerConfig

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// ErrDeadlineExceeded marks a query stopped by its request lifecycle:
+// either its simulated deadline passed (Query.Deadline, measured against
+// the query's accumulated simulated latency) or its context was
+// cancelled. The response carries a partial Explain trace and the cost
+// of the work that actually ran; remaining wave members were abandoned.
+// Callers match with errors.Is.
+var ErrDeadlineExceeded = errors.New("core: query deadline exceeded")
+
+// reqBudget is one query's lifecycle, threaded through every stage of
+// the read pipeline. It combines two stop signals:
+//
+//   - ctx: real cancellation (a disconnected HTTP client, a test). Its
+//     arrival point relative to simulated work is inherently
+//     scheduling-dependent, so cancellation trades determinism for
+//     liveness — by design.
+//   - deadline: the query's simulated latency bound. Checks compare
+//     deterministic simulated elapsed time against it, so the same seed
+//     and the same deadline stop the same query at the same point, every
+//     run.
+//
+// Checkpoints sit at call boundaries: before each sequential RPC of a
+// wave leg (elapsed grows leg-locally — parallel legs all start at the
+// wave's base elapsed) and between pipeline stages (elapsed is the
+// response's accumulated latency). The simulator cannot interrupt an
+// RPC mid-flight, so work between checkpoints completes and is costed
+// in full: a cancelled wave is costed as the partial wave it ran.
+type reqBudget struct {
+	ctx      context.Context
+	deadline time.Duration // simulated latency bound; 0 = none
+}
+
+// check fails once the budget is spent: the context is done, or the
+// simulated elapsed time has reached the deadline. The error wraps
+// ErrDeadlineExceeded (and the context's own error, when that was the
+// trigger).
+func (b reqBudget) check(elapsed time.Duration) error {
+	if b.ctx != nil {
+		if cerr := b.ctx.Err(); cerr != nil {
+			return fmt.Errorf("%w: %w", ErrDeadlineExceeded, cerr)
+		}
+	}
+	if b.deadline > 0 && elapsed >= b.deadline {
+		return fmt.Errorf("%w: %v simulated elapsed against a %v deadline",
+			ErrDeadlineExceeded, elapsed, b.deadline)
+	}
+	return nil
+}
+
+// lifecycleErr reports whether an error from a lower layer means the
+// request lifecycle ended (context cancelled at a netsim/DHT call
+// boundary, or a deadline checkpoint fired) rather than the index being
+// unavailable.
+func lifecycleErr(err error) bool {
+	return errors.Is(err, ErrDeadlineExceeded) || isCancelled(err)
+}
+
+// isCancelled matches the cancellation sentinel a short-circuited
+// netsim call (or an abandoned DHT lookup) surfaces.
+func isCancelled(err error) bool { return errors.Is(err, netsim.ErrCancelled) }
+
+// asLifecycle lifts a lower-layer cancellation into the typed deadline
+// error; every other error passes through unchanged.
+func asLifecycle(err error) error {
+	if err != nil && isCancelled(err) && !errors.Is(err, ErrDeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrDeadlineExceeded, err)
+	}
+	return err
+}
+
+// context returns the budget's context, defaulting to Background so
+// lower layers can poll Err without nil checks.
+func (b reqBudget) context() context.Context {
+	if b.ctx == nil {
+		return context.Background()
+	}
+	return b.ctx
+}

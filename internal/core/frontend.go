@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dht"
 	"repro/internal/index"
@@ -46,6 +48,14 @@ type Frontend struct {
 	// gallop selects the intersection kernel (A1); queries snapshot it at
 	// start, so flipping it mid-flight never races an executing plan.
 	gallop atomic.Bool
+
+	// hedge, when set by a FrontendPool, is the buddy frontend this one
+	// duplicates its slowest shard fetch onto (hedged reads); hedges
+	// counts the duplicates issued, and hedgeBill (also pool-set) books
+	// each hedge's simulated time against the buddy's serving load.
+	hedge     *Frontend
+	hedges    atomic.Int64
+	hedgeBill func(time.Duration)
 }
 
 // segFetch is one in-flight segment download; duplicate requesters block
@@ -150,17 +160,26 @@ func (f *Frontend) Search(query string, k int) (SearchResponse, error) {
 // scoreAndCompose ranks the candidate documents with BM25 × PageRank,
 // keeps the requested page (offset/limit over the deterministic total
 // order), and fills in results and ads — steps 3–5 of the frontend
-// pipeline, shared by every query mode.
-func (f *Frontend) scoreAndCompose(resp *SearchResponse, terms []string,
+// pipeline, shared by every query mode. The budget is checked once
+// before the collection-statistics read (the stage's only RPC; ranking
+// itself is pure CPU): a spent lifecycle returns ErrDeadlineExceeded
+// without composing anything.
+func (f *Frontend) scoreAndCompose(bud reqBudget, resp *SearchResponse, terms []string,
 	merged map[string]index.PostingList, segsByShard map[int]*index.Segment,
-	docs []index.DocID, limit, offset int) {
+	docs []index.DocID, limit, offset int) error {
 
+	if err := bud.check(resp.Cost.Latency); err != nil {
+		return err
+	}
 	// Collection statistics only shift BM25 constants, so they are
-	// cached and refreshed only when the page count changes.
+	// cached and refreshed only when the page count changes. The fetch
+	// leader always runs to completion (Background ctx): a stats read
+	// abandoned mid-flight would cache a zero snapshot for a whole
+	// generation and skew every later query's BM25 constants.
 	stats, cost := f.cachedStats()
 	resp.Cost = resp.Cost.Seq(cost)
 	scorer := index.NewScorer(index.CorpusStats{
-		DocCount:  maxInt(stats.Docs, 1),
+		DocCount:  max(stats.Docs, 1),
 		AvgDocLen: avgDocLen(stats),
 	}, f.cluster.cfg.RankWeight)
 
@@ -242,6 +261,7 @@ func (f *Frontend) scoreAndCompose(resp *SearchResponse, terms []string,
 			break
 		}
 	}
+	return nil
 }
 
 // fetchSegment returns the immutable segment for a digest: LRU cache
@@ -251,33 +271,49 @@ func (f *Frontend) scoreAndCompose(resp *SearchResponse, terms []string,
 // time; the bytes moved on the wire only once and are counted once in the
 // network's global stats).
 func (f *Frontend) fetchSegment(digest string) (*index.Segment, netsim.Cost, error) {
-	f.mu.Lock()
-	if seg, ok := f.segCache.get(digest); ok {
+	return f.fetchSegmentCtx(context.Background(), digest)
+}
+
+// fetchSegmentCtx is fetchSegment with a request lifecycle. The leader
+// fetches under its own ctx, so a cancelled leader abandons the DHT
+// lookup mid-wave; its flight then reports the cancellation and caches
+// nothing. A waiter whose own lifecycle is still live does not inherit
+// that fate — it retries as the new leader — so one cancelled query
+// never fails the innocents coalesced behind it, and the singleflight
+// table never wedges on a dead flight.
+func (f *Frontend) fetchSegmentCtx(ctx context.Context, digest string) (*index.Segment, netsim.Cost, error) {
+	for {
+		f.mu.Lock()
+		if seg, ok := f.segCache.get(digest); ok {
+			f.mu.Unlock()
+			return seg, netsim.Cost{}, nil
+		}
+		if fl, ok := f.segFlight[digest]; ok {
+			f.mu.Unlock()
+			<-fl.done
+			if isCancelled(fl.err) && ctx.Err() == nil {
+				continue // the leader's request died, not the fetch: retry
+			}
+			return fl.seg, fl.cost, fl.err
+		}
+		fl := &segFetch{done: make(chan struct{})}
+		f.segFlight[digest] = fl
 		f.mu.Unlock()
-		return seg, netsim.Cost{}, nil
-	}
-	if fl, ok := f.segFlight[digest]; ok {
+
+		fl.seg, fl.cost, fl.err = readSegmentCtx(ctx, f.peer.DHT(), digest)
+		var size int64
+		if fl.err == nil {
+			size = fl.seg.SizeBytes()
+		}
+		f.mu.Lock()
+		delete(f.segFlight, digest)
+		if fl.err == nil {
+			f.segCache.add(digest, fl.seg, size)
+		}
 		f.mu.Unlock()
-		<-fl.done
+		close(fl.done)
 		return fl.seg, fl.cost, fl.err
 	}
-	fl := &segFetch{done: make(chan struct{})}
-	f.segFlight[digest] = fl
-	f.mu.Unlock()
-
-	fl.seg, fl.cost, fl.err = readSegment(f.peer.DHT(), digest)
-	var size int64
-	if fl.err == nil {
-		size = fl.seg.SizeBytes()
-	}
-	f.mu.Lock()
-	delete(f.segFlight, digest)
-	if fl.err == nil {
-		f.segCache.add(digest, fl.seg, size)
-	}
-	f.mu.Unlock()
-	close(fl.done)
-	return fl.seg, fl.cost, fl.err
 }
 
 // loadShard fetches a shard's segment chain and returns its merged view.
@@ -287,64 +323,92 @@ func (f *Frontend) fetchSegment(digest string) (*index.Segment, netsim.Cost, err
 // the chain changes. Single-segment chains (the common case after
 // compaction) skip merging entirely, so their postings stay lazy.
 func (f *Frontend) loadShard(shard int) (*index.Segment, netsim.Cost, error) {
-	ptr, cost, err := readShardPointer(f.peer.DHT(), shard)
+	return f.loadShardCtx(reqBudget{}, 0, shard)
+}
+
+// loadShardCtx is one wave leg with a request lifecycle. e0 is the
+// query's simulated elapsed time when the wave launched; the leg's own
+// sequential steps (pointer read, then each segment fetch) extend it,
+// and the budget is re-checked before every step — a spent budget
+// abandons the rest of the chain with the partial cost and a typed
+// ErrDeadlineExceeded. A leader abandoned mid-chain reports the
+// lifecycle error on its flight; waiters whose own budget is still live
+// retry as the new leader, so the chain singleflight never wedges and
+// never fails an innocent query.
+func (f *Frontend) loadShardCtx(bud reqBudget, e0 time.Duration, shard int) (*index.Segment, netsim.Cost, error) {
+	if err := bud.check(e0); err != nil {
+		return nil, netsim.Cost{}, err
+	}
+	ptr, cost, err := readShardPointerCtx(bud.context(), f.peer.DHT(), shard)
 	if err == dht.ErrNotFound {
 		return index.NewSegment(0), cost, nil
 	}
 	if err != nil {
-		return nil, cost, err
+		return nil, cost, asLifecycle(err)
 	}
 	key := strings.Join(ptr.Digests, ",")
-	f.mu.Lock()
-	ce, cached := f.chainCache.peek(shard)
-	switch {
-	case cached && ce.key == key:
-		f.chainCache.hits++
-		f.chainCache.promote(shard)
+	for {
+		f.mu.Lock()
+		ce, cached := f.chainCache.peek(shard)
+		switch {
+		case cached && ce.key == key:
+			f.chainCache.hits++
+			f.chainCache.promote(shard)
+			f.mu.Unlock()
+			return ce.seg, cost, nil
+		case cached:
+			// The shard head moved on: a real miss, and the stale view must
+			// neither serve nor outlive genuinely warm entries.
+			f.chainCache.misses++
+			f.chainCache.drop(shard)
+		default:
+			f.chainCache.misses++
+		}
+		if fl, ok := f.chainFlight[shard]; ok && fl.key == key {
+			f.mu.Unlock()
+			<-fl.done
+			if lifecycleErr(fl.err) && bud.check(e0+cost.Latency) == nil {
+				continue // the leader's request died, not the chain: retry
+			}
+			return fl.seg, cost.Seq(fl.cost), fl.err
+		}
+		fl := &chainFetch{key: key, done: make(chan struct{})}
+		f.chainFlight[shard] = fl
 		f.mu.Unlock()
-		return ce.seg, cost, nil
-	case cached:
-		// The shard head moved on: a real miss, and the stale view must
-		// neither serve nor outlive genuinely warm entries.
-		f.chainCache.misses++
-		f.chainCache.drop(shard)
-	default:
-		f.chainCache.misses++
-	}
-	if fl, ok := f.chainFlight[shard]; ok && fl.key == key {
+
+		segs := make([]*index.Segment, 0, len(ptr.Digests))
+		for _, digest := range ptr.Digests {
+			// The chain's fetches are sequential within this leg, so the
+			// leg-local elapsed time grows step by step — this is the
+			// "cancelled between shard fetches" cut point.
+			if err := bud.check(e0 + cost.Latency + fl.cost.Latency); err != nil {
+				fl.err = err
+				break
+			}
+			seg, c2, err := f.fetchSegmentCtx(bud.context(), digest)
+			fl.cost = fl.cost.Seq(c2)
+			if err != nil {
+				fl.err = asLifecycle(err)
+				break
+			}
+			segs = append(segs, seg)
+		}
+		var size int64
+		if fl.err == nil {
+			fl.seg = index.Merge(segs)
+			size = fl.seg.SizeBytes()
+		}
+		f.mu.Lock()
+		if f.chainFlight[shard] == fl {
+			delete(f.chainFlight, shard)
+		}
+		if fl.err == nil {
+			f.chainCache.add(shard, chainEntry{key: key, seg: fl.seg}, size)
+		}
 		f.mu.Unlock()
-		<-fl.done
+		close(fl.done)
 		return fl.seg, cost.Seq(fl.cost), fl.err
 	}
-	fl := &chainFetch{key: key, done: make(chan struct{})}
-	f.chainFlight[shard] = fl
-	f.mu.Unlock()
-
-	segs := make([]*index.Segment, 0, len(ptr.Digests))
-	for _, digest := range ptr.Digests {
-		seg, c2, err := f.fetchSegment(digest)
-		fl.cost = fl.cost.Seq(c2)
-		if err != nil {
-			fl.err = err
-			break
-		}
-		segs = append(segs, seg)
-	}
-	var size int64
-	if fl.err == nil {
-		fl.seg = index.Merge(segs)
-		size = fl.seg.SizeBytes()
-	}
-	f.mu.Lock()
-	if f.chainFlight[shard] == fl {
-		delete(f.chainFlight, shard)
-	}
-	if fl.err == nil {
-		f.chainCache.add(shard, chainEntry{key: key, seg: fl.seg}, size)
-	}
-	f.mu.Unlock()
-	close(fl.done)
-	return fl.seg, cost.Seq(fl.cost), fl.err
 }
 
 // loadShards resolves a query's distinct shards as one concurrent fetch
@@ -360,19 +424,32 @@ func (f *Frontend) loadShard(shard int) (*index.Segment, netsim.Cost, error) {
 // failing shard — Explain's shard-wave accounting stays consistent for
 // failed waves (asserted in plan_test.go).
 func (f *Frontend) loadShards(shards []int) (map[int]*index.Segment, netsim.Cost, error) {
+	return f.loadShardsCtx(reqBudget{}, 0, shards)
+}
+
+// loadShardsCtx is loadShards with a request lifecycle and, on pool
+// frontends, hedged reads. Every leg starts at the wave's base elapsed
+// time e0 (parallel legs share a launch instant; sequential steps inside
+// a leg extend it), and a spent budget abandons each leg's remaining
+// steps — the wave then reports the partial cost of the work that ran
+// and a typed ErrDeadlineExceeded.
+func (f *Frontend) loadShardsCtx(bud reqBudget, e0 time.Duration, shards []int) (map[int]*index.Segment, netsim.Cost, error) {
 	segs := make([]*index.Segment, len(shards))
 	costs := make([]netsim.Cost, len(shards))
 	errs := make([]error, len(shards))
 	runWave(len(shards), !f.cluster.Net.SharedStream(), func(i int) {
-		segs[i], costs[i], errs[i] = f.loadShard(shards[i])
+		segs[i], costs[i], errs[i] = f.loadShardCtx(bud, e0, shards[i])
 	})
+	f.hedgeLeg(bud, e0, shards, segs, costs, errs)
 	out := make(map[int]*index.Segment, len(shards))
 	var cost netsim.Cost
 	var firstErr error
 	for i := range shards {
 		cost = cost.Par(costs[i])
 		if errs[i] != nil {
-			if firstErr == nil {
+			// A spent lifecycle outranks shard errors: the query was
+			// stopped, not the index broken.
+			if firstErr == nil || (lifecycleErr(errs[i]) && !lifecycleErr(firstErr)) {
 				firstErr = fmt.Errorf("shard %d: %w", shards[i], errs[i])
 			}
 			continue
@@ -383,6 +460,67 @@ func (f *Frontend) loadShards(shards []int) (map[int]*index.Segment, netsim.Cost
 		return nil, cost, firstErr
 	}
 	return out, cost, nil
+}
+
+// hedgeLeg duplicates one leg of a completed shard wave on the
+// buddy frontend (hedged reads, pool frontends only): the fetch reruns
+// against the buddy's own peer, caches and links, the first reply wins
+// the latency, and both replies pay their bytes and messages. The
+// hedged leg is the lowest-indexed FAILED leg when the wave has one —
+// the duplicate is the retry that can actually rescue the wave
+// (single-frontend fault tolerance) — and otherwise the slowest
+// successful leg, where first-reply-wins shaves the tail. The results
+// are byte-identical either way (both frontends read the same
+// immutable DHT state), so hedging shifts only costs, never responses.
+// Waves stopped by the lifecycle are not hedged: the client is gone.
+func (f *Frontend) hedgeLeg(bud reqBudget, e0 time.Duration, shards []int, segs []*index.Segment, costs []netsim.Cost, errs []error) {
+	if f.hedge == nil || len(shards) == 0 {
+		return
+	}
+	slowest, failed := 0, -1
+	for i := range shards {
+		if lifecycleErr(errs[i]) {
+			return
+		}
+		if errs[i] != nil && failed < 0 {
+			failed = i
+		}
+		if costs[i].Latency > costs[slowest].Latency {
+			slowest = i
+		}
+	}
+	if failed >= 0 {
+		slowest = failed
+	} else if costs[slowest].Latency == 0 {
+		// Every leg was free: there is no latency to win, so a hedge
+		// would only burn duplicate DHT traffic.
+		return
+	}
+	hseg, hcost, herr := f.hedge.loadShardCtx(bud, e0, shards[slowest])
+	if lifecycleErr(herr) {
+		return // the lifecycle ended mid-hedge; keep the primary leg as-is
+	}
+	f.hedges.Add(1)
+	if f.hedgeBill != nil {
+		// The duplicate ran on the buddy's device: its simulated time is
+		// the buddy's serving load, not this frontend's.
+		f.hedgeBill(hcost.Latency)
+	}
+	pc := costs[slowest]
+	merged := netsim.Cost{Bytes: pc.Bytes + hcost.Bytes, Msgs: pc.Msgs + hcost.Msgs}
+	switch {
+	case errs[slowest] == nil && herr == nil:
+		merged.Latency = min(pc.Latency, hcost.Latency)
+	case errs[slowest] != nil && herr == nil:
+		segs[slowest], errs[slowest] = hseg, nil
+		merged.Latency = hcost.Latency
+	case errs[slowest] == nil:
+		merged.Latency = pc.Latency
+	default:
+		// Both replies failed; the caller observes the later failure.
+		merged.Latency = max(pc.Latency, hcost.Latency)
+	}
+	costs[slowest] = merged
 }
 
 // cachedStats returns the collection statistics, re-reading from the DHT
@@ -427,6 +565,23 @@ type CacheStats struct {
 	ChainEntries            int
 	ChainHits, ChainMisses  int64
 	StatsFetches            int64
+}
+
+// Add accumulates another snapshot into c — the aggregation a pool (or
+// a serving surface) runs across its frontends' independent caches.
+// Budgets sum too: the total memory the tier may hold.
+func (c *CacheStats) Add(o CacheStats) {
+	c.SegBytes += o.SegBytes
+	c.SegBudget += o.SegBudget
+	c.SegEntries += o.SegEntries
+	c.SegHits += o.SegHits
+	c.SegMisses += o.SegMisses
+	c.ChainBytes += o.ChainBytes
+	c.ChainBudget += o.ChainBudget
+	c.ChainEntries += o.ChainEntries
+	c.ChainHits += o.ChainHits
+	c.ChainMisses += o.ChainMisses
+	c.StatsFetches += o.StatsFetches
 }
 
 // CacheStatsSnapshot reports cache occupancy and traffic counters —
@@ -490,13 +645,6 @@ func avgDocLen(st IndexStats) float64 {
 		return 1
 	}
 	return float64(st.Tokens) / float64(st.Docs)
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // TopRankedPages lists the highest page-rank URLs from chain state.

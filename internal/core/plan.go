@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/index"
 	"repro/internal/netsim"
@@ -65,6 +67,14 @@ type Query struct {
 	// Explain records the executed plan, per-node candidate counts and
 	// simulated costs into SearchResponse.Explain.
 	Explain bool
+	// Deadline bounds the query's simulated latency. Once the response's
+	// accumulated simulated cost reaches it at a checkpoint — before each
+	// sequential RPC of a wave leg, and between pipeline stages — the
+	// remaining work is abandoned and the query fails with a typed
+	// ErrDeadlineExceeded carrying a partial Explain trace. Deterministic:
+	// the same seed and deadline stop at the same point every run. Zero
+	// means no deadline.
+	Deadline time.Duration
 }
 
 // ExplainNode is one executed plan node: the operator, its operand
@@ -97,6 +107,11 @@ type Explain struct {
 	LoadCost    netsim.Cost
 	SnippetCost netsim.Cost
 	TotalCost   netsim.Cost
+	// Partial marks a trace truncated by the request lifecycle (deadline
+	// or cancellation): the costs cover only the work that actually ran,
+	// and later stages may be missing entirely. Deadline-failed queries
+	// always carry a partial trace, whether or not Explain was requested.
+	Partial bool
 }
 
 // String renders the trace as an indented plan tree for CLI output.
@@ -133,6 +148,21 @@ func writePlan(b *strings.Builder, n *ExplainNode, depth int) {
 // boolean plan over posting lists, rank with BM25×PageRank, paginate,
 // and optionally attach snippets and the execution trace.
 func (f *Frontend) Execute(q Query) (SearchResponse, error) {
+	return f.ExecuteCtx(context.Background(), q)
+}
+
+// ExecuteCtx is Execute with a request lifecycle: the context and the
+// query's simulated Deadline are threaded through every stage — the
+// shard wave (each leg re-checks before every sequential RPC), the
+// statistics read, and the snippet wave. A query stopped by either
+// signal abandons its remaining wave members, keeps its caches and
+// singleflights consistent, and returns ErrDeadlineExceeded with a
+// partial Explain trace (always attached on that path, Explain requested
+// or not) costing exactly the work that ran. The deadline is a promise
+// about simulated response time: a query whose completed work overruns
+// it also fails — the simulated client was already gone — with the
+// caches it warmed left in place.
+func (f *Frontend) ExecuteCtx(ctx context.Context, q Query) (SearchResponse, error) {
 	limit := q.Limit
 	if limit <= 0 {
 		limit = 10
@@ -141,6 +171,7 @@ func (f *Frontend) Execute(q Query) (SearchResponse, error) {
 	if offset < 0 {
 		offset = 0
 	}
+	bud := reqBudget{ctx: ctx, deadline: q.Deadline}
 
 	var resp SearchResponse
 	root, err := compileAST(q)
@@ -162,9 +193,36 @@ func (f *Frontend) Execute(q Query) (SearchResponse, error) {
 			shards = append(shards, shard)
 		}
 	}
-	segsByShard, loadCost, err := f.loadShards(shards)
+
+	// partialTrace attaches the trace of the work done so far and strips
+	// any composed payload: the lifecycle ended before the response could
+	// have reached the client.
+	partialTrace := func(plan *ExplainNode, candidates int, loadCost, snippetCost netsim.Cost, err error) (SearchResponse, error) {
+		resp.Results, resp.Ads, resp.Total = nil, nil, 0
+		resp.Explain = &Explain{
+			Query:       q.Raw,
+			Mode:        q.Mode.String(),
+			Terms:       allTerms,
+			Shards:      shards,
+			Plan:        plan,
+			Candidates:  candidates,
+			LoadCost:    loadCost,
+			SnippetCost: snippetCost,
+			TotalCost:   resp.Cost,
+			Partial:     true,
+		}
+		return resp, err
+	}
+
+	if err := bud.check(0); err != nil {
+		return partialTrace(nil, 0, netsim.Cost{}, netsim.Cost{}, err)
+	}
+	segsByShard, loadCost, err := f.loadShardsCtx(bud, 0, shards)
 	resp.Cost = resp.Cost.Seq(loadCost)
 	if err != nil {
+		if lifecycleErr(err) {
+			return partialTrace(nil, 0, loadCost, netsim.Cost{}, asLifecycle(err))
+		}
 		// A failed wave still carries its accounting: every shard fetch
 		// was in flight, so Explain (when requested) records the wave and
 		// its full cost even though no results can be composed.
@@ -179,6 +237,10 @@ func (f *Frontend) Execute(q Query) (SearchResponse, error) {
 			}
 		}
 		return resp, fmt.Errorf("%w: %w", ErrShardUnavailable, err)
+	}
+	// The wave completed; a deadline it overran still kills the query.
+	if err := bud.check(resp.Cost.Latency); err != nil {
+		return partialTrace(nil, 0, loadCost, netsim.Cost{}, err)
 	}
 	merged := make(map[string]index.PostingList, len(allTerms))
 	for _, term := range allTerms {
@@ -195,11 +257,20 @@ func (f *Frontend) Execute(q Query) (SearchResponse, error) {
 	resp.Total = len(docs)
 
 	if len(docs) > 0 {
-		f.scoreAndCompose(&resp, posTerms, merged, segsByShard, docs, limit, offset)
+		if err := f.scoreAndCompose(bud, &resp, posTerms, merged, segsByShard, docs, limit, offset); err != nil {
+			return partialTrace(plan, len(docs), loadCost, netsim.Cost{}, err)
+		}
 	}
 	var snippetCost netsim.Cost
 	if q.Snippets && len(resp.Results) > 0 {
-		snippetCost = f.attachSnippets(&resp, posTerms)
+		if snippetCost, err = f.attachSnippets(bud, &resp, posTerms); err != nil {
+			return partialTrace(plan, len(docs), loadCost, snippetCost, err)
+		}
+	}
+	// The response must arrive within the deadline: final checkpoint
+	// against the full simulated cost.
+	if err := bud.check(resp.Cost.Latency); err != nil {
+		return partialTrace(plan, len(docs), loadCost, snippetCost, err)
 	}
 	if q.Explain {
 		resp.Explain = &Explain{

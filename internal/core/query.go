@@ -77,9 +77,25 @@ func (f *Frontend) SearchWith(raw string, opts SearchOptions) (SearchResponse, e
 // of each other, so — like the shard loads — they are costed as one
 // parallel wave (Cost.Par): the slowest fetch, not the sum. Returns the
 // wave's cost, which is also folded into resp.Cost.
-func (f *Frontend) attachSnippets(resp *SearchResponse, terms []string) netsim.Cost {
+//
+// The budget is checked once before the wave (every member shares the
+// wave's simulated launch instant, so the deadline cannot cut between
+// members) and the context before each member — a cancelled request
+// abandons the remaining fetches and returns the partial wave's cost
+// with ErrDeadlineExceeded.
+func (f *Frontend) attachSnippets(bud reqBudget, resp *SearchResponse, terms []string) (netsim.Cost, error) {
 	var wave netsim.Cost
+	abandon := func(err error) (netsim.Cost, error) {
+		resp.Cost = resp.Cost.Seq(wave)
+		return wave, err
+	}
+	if err := bud.check(resp.Cost.Latency); err != nil {
+		return abandon(err)
+	}
 	for i := range resp.Results {
+		if cerr := bud.context().Err(); cerr != nil {
+			return abandon(fmt.Errorf("%w: %w", ErrDeadlineExceeded, cerr))
+		}
 		data, cost, err := f.FetchResult(resp.Results[i])
 		wave = wave.Par(cost)
 		if err != nil {
@@ -88,7 +104,7 @@ func (f *Frontend) attachSnippets(resp *SearchResponse, terms []string) netsim.C
 		resp.Results[i].Snippet = Snippet(string(data), terms, 12)
 	}
 	resp.Cost = resp.Cost.Seq(wave)
-	return wave
+	return wave, nil
 }
 
 // Snippet extracts a window of words around the first occurrence of any

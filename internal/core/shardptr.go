@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -40,8 +41,15 @@ func encodeJSON(v any) []byte {
 
 // readShardPointer fetches a shard's pointer record through a DHT node.
 func readShardPointer(d *dht.Node, shard int) (ShardPointer, netsim.Cost, error) {
+	return readShardPointerCtx(context.Background(), d, shard)
+}
+
+// readShardPointerCtx is readShardPointer with a request lifecycle: a
+// cancelled context abandons the quorum read mid-lookup with the partial
+// cost.
+func readShardPointerCtx(ctx context.Context, d *dht.Node, shard int) (ShardPointer, netsim.Cost, error) {
 	var ptr ShardPointer
-	val, _, cost, err := d.Get(dht.KeyOfString(index.ShardPointerKey(shard)))
+	val, _, cost, err := d.GetCtx(ctx, dht.KeyOfString(index.ShardPointerKey(shard)))
 	if err != nil {
 		return ptr, cost, err
 	}
@@ -100,7 +108,12 @@ func writeSegment(d *dht.Node, digestHex string, data []byte) (netsim.Cost, erro
 // are immutable, so the first replica suffices (the digest check below
 // catches a tampered one).
 func readSegment(d *dht.Node, digestHex string) (*index.Segment, netsim.Cost, error) {
-	val, cost, err := d.GetImmutable(dht.KeyOfString(index.SegmentKey(digestHex)))
+	return readSegmentCtx(context.Background(), d, digestHex)
+}
+
+// readSegmentCtx is readSegment with a request lifecycle.
+func readSegmentCtx(ctx context.Context, d *dht.Node, digestHex string) (*index.Segment, netsim.Cost, error) {
+	val, cost, err := d.GetImmutableCtx(ctx, dht.KeyOfString(index.SegmentKey(digestHex)))
 	if err != nil {
 		return nil, cost, err
 	}

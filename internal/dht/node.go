@@ -1,6 +1,7 @@
 package dht
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -163,9 +164,19 @@ func (n *Node) Bootstrap(seeds []Contact) netsim.Cost {
 // call performs one RPC and maintains the routing table on success or
 // failure.
 func (n *Node) call(to Contact, req any) (any, netsim.Cost, error) {
-	resp, cost, err := n.net.Call(n.self.Addr, to.Addr, req)
+	return n.callCtx(context.Background(), to, req)
+}
+
+// callCtx is call with a request lifecycle. A call short-circuited by
+// cancellation never reached the peer, so — unlike a genuine RPC
+// failure — it does NOT mark the contact failed: abandoning a query
+// must not poison the routing table.
+func (n *Node) callCtx(ctx context.Context, to Contact, req any) (any, netsim.Cost, error) {
+	resp, cost, err := n.net.CallCtx(ctx, n.self.Addr, to.Addr, req)
 	if err != nil {
-		n.rt.markFailed(to.ID)
+		if !errors.Is(err, netsim.ErrCancelled) {
+			n.rt.markFailed(to.ID)
+		}
 		return nil, cost, err
 	}
 	n.rt.update(to)
@@ -182,13 +193,14 @@ func (n *Node) Ping(to Contact) (netsim.Cost, error) {
 // the k closest live contacts found. Queries within a round are accounted
 // as parallel; rounds are sequential.
 func (n *Node) lookupNodes(target Key) ([]Contact, netsim.Cost) {
-	return n.iterativeLookup(target, func(c Contact) ([]Contact, bool, netsim.Cost) {
+	contacts, cost, _ := n.iterativeLookup(context.Background(), target, func(c Contact) ([]Contact, bool, netsim.Cost) {
 		resp, cost, err := n.call(c, findNodeReq{From: n.self, Target: target})
 		if err != nil {
 			return nil, false, cost
 		}
 		return resp.(findNodeResp).Contacts, true, cost
 	})
+	return contacts, cost
 }
 
 // lookupState tracks per-contact progress during an iterative lookup.
@@ -199,13 +211,37 @@ type lookupState struct {
 
 // iterativeLookup is the shared Kademlia lookup loop. query returns the
 // closer contacts a peer reported and whether the peer responded.
-func (n *Node) iterativeLookup(target Key, query func(Contact) ([]Contact, bool, netsim.Cost)) ([]Contact, netsim.Cost) {
+//
+// The loop checks ctx before issuing each RPC: once the context is done
+// the remaining queries of the round — and every later round — are
+// abandoned, the cost accumulated so far is returned (the partial wave
+// that actually ran), and the error wraps netsim.ErrCancelled. Abandoned
+// peers are never marked failed.
+func (n *Node) iterativeLookup(ctx context.Context, target Key, query func(Contact) ([]Contact, bool, netsim.Cost)) ([]Contact, netsim.Cost, error) {
 	shortlist := n.rt.closest(target, n.cfg.K)
 	states := make(map[Key]*lookupState, len(shortlist))
 	for _, c := range shortlist {
 		states[c.ID] = &lookupState{}
 	}
 	var total netsim.Cost
+	var lookupErr error
+
+	// cancelled reports (and wraps) a done context. Checked before every
+	// RPC the loop issues, so an abandoned lookup stops at a call
+	// boundary with the partial cost it actually paid.
+	cancelled := func() bool {
+		if lookupErr != nil {
+			return true
+		}
+		if ctx == nil {
+			return false
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			lookupErr = fmt.Errorf("%w: %w", netsim.ErrCancelled, cerr)
+			return true
+		}
+		return false
+	}
 
 	insert := func(c Contact) {
 		if c.ID == n.self.ID {
@@ -245,6 +281,9 @@ func (n *Node) iterativeLookup(target Key, query func(Contact) ([]Contact, bool,
 		progressed := false
 		prevBest := bestDistance(target, shortlist, states)
 		for _, c := range round {
+			if cancelled() {
+				break
+			}
 			st := states[c.ID]
 			st.queried = true
 			closer, ok, cost := query(c)
@@ -258,6 +297,9 @@ func (n *Node) iterativeLookup(target Key, query func(Contact) ([]Contact, bool,
 			}
 		}
 		total = total.Seq(roundCost)
+		if lookupErr != nil {
+			return nil, total, lookupErr
+		}
 		sortShortlist()
 		if nowBest := bestDistance(target, shortlist, states); nowBest.Less(prevBest) {
 			progressed = true
@@ -285,6 +327,9 @@ func (n *Node) iterativeLookup(target Key, query func(Contact) ([]Contact, bool,
 			}
 			var tailCost netsim.Cost
 			for _, c := range tail {
+				if cancelled() {
+					break
+				}
 				st := states[c.ID]
 				st.queried = true
 				closer, ok, cost := query(c)
@@ -298,6 +343,9 @@ func (n *Node) iterativeLookup(target Key, query func(Contact) ([]Contact, bool,
 				}
 			}
 			total = total.Seq(tailCost)
+			if lookupErr != nil {
+				return nil, total, lookupErr
+			}
 		}
 	}
 
@@ -313,7 +361,7 @@ func (n *Node) iterativeLookup(target Key, query func(Contact) ([]Contact, bool,
 			break
 		}
 	}
-	return result, total
+	return result, total, nil
 }
 
 // bestDistance returns the XOR distance of the closest non-failed contact
@@ -377,6 +425,15 @@ func (n *Node) Put(key Key, value []byte, seq uint64) (int, netsim.Cost, error) 
 // a quorum-style read that tolerates stale replicas. The local replica
 // (if any) participates as one more vote.
 func (n *Node) Get(key Key) ([]byte, uint64, netsim.Cost, error) {
+	return n.GetCtx(context.Background(), key)
+}
+
+// GetCtx is Get with a request lifecycle: once ctx is done, the
+// remaining lookup rounds are abandoned and the error wraps
+// netsim.ErrCancelled. A quorum read cut short mid-lookup fails even
+// when some replica already answered — a partial quorum is not a read —
+// and the returned cost is the partial wave that actually ran.
+func (n *Node) GetCtx(ctx context.Context, key Key) ([]byte, uint64, netsim.Cost, error) {
 	var (
 		bestVal  []byte
 		bestSeq  uint64
@@ -388,8 +445,8 @@ func (n *Node) Get(key Key) ([]byte, uint64, netsim.Cost, error) {
 	}
 	n.mu.Unlock()
 
-	_, cost := n.iterativeLookup(key, func(c Contact) ([]Contact, bool, netsim.Cost) {
-		resp, cc, err := n.call(c, findValueReq{From: n.self, Key: key})
+	_, cost, err := n.iterativeLookup(ctx, key, func(c Contact) ([]Contact, bool, netsim.Cost) {
+		resp, cc, err := n.callCtx(ctx, c, findValueReq{From: n.self, Key: key})
 		if err != nil {
 			return nil, false, cc
 		}
@@ -405,6 +462,9 @@ func (n *Node) Get(key Key) ([]byte, uint64, netsim.Cost, error) {
 		}
 		return r.Contacts, true, cc
 	})
+	if err != nil {
+		return nil, 0, cost, err
+	}
 	if !anyValue {
 		return nil, 0, cost, ErrNotFound
 	}
@@ -416,6 +476,14 @@ func (n *Node) Get(key Key) ([]byte, uint64, netsim.Cost, error) {
 // is safe because the caller verifies the content hash. Use Get for
 // versioned (mutable) records.
 func (n *Node) GetImmutable(key Key) ([]byte, netsim.Cost, error) {
+	return n.GetImmutableCtx(context.Background(), key)
+}
+
+// GetImmutableCtx is GetImmutable with a request lifecycle: once ctx is
+// done the remaining lookup rounds are abandoned with the partial cost.
+// A replica found before the cancel still wins — the bytes were already
+// on the wire, and the caller's hash check vouches for them.
+func (n *Node) GetImmutableCtx(ctx context.Context, key Key) ([]byte, netsim.Cost, error) {
 	n.mu.Lock()
 	if sv, ok := n.values[key]; ok {
 		n.mu.Unlock()
@@ -427,11 +495,11 @@ func (n *Node) GetImmutable(key Key) ([]byte, netsim.Cost, error) {
 		val   []byte
 		found bool
 	)
-	_, cost := n.iterativeLookup(key, func(c Contact) ([]Contact, bool, netsim.Cost) {
+	_, cost, err := n.iterativeLookup(ctx, key, func(c Contact) ([]Contact, bool, netsim.Cost) {
 		if found {
 			return nil, true, netsim.Cost{}
 		}
-		resp, cc, err := n.call(c, findValueReq{From: n.self, Key: key})
+		resp, cc, err := n.callCtx(ctx, c, findValueReq{From: n.self, Key: key})
 		if err != nil {
 			return nil, false, cc
 		}
@@ -442,10 +510,13 @@ func (n *Node) GetImmutable(key Key) ([]byte, netsim.Cost, error) {
 		}
 		return r.Contacts, true, cc
 	})
-	if !found {
-		return nil, cost, ErrNotFound
+	if found {
+		return val, cost, nil
 	}
-	return val, cost, nil
+	if err != nil {
+		return nil, cost, err
+	}
+	return nil, cost, ErrNotFound
 }
 
 // Provide announces this node as a provider for key on the k closest
@@ -499,7 +570,7 @@ func (n *Node) FindProviders(key Key, limit int) ([]Contact, netsim.Cost, error)
 	}
 	enough := func() bool { return limit > 0 && len(seen) >= limit }
 
-	_, cost := n.iterativeLookup(key, func(c Contact) ([]Contact, bool, netsim.Cost) {
+	_, cost, _ := n.iterativeLookup(context.Background(), key, func(c Contact) ([]Contact, bool, netsim.Cost) {
 		if enough() {
 			return nil, true, netsim.Cost{}
 		}

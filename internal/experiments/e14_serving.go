@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E14",
+		Title: "Serving tier: frontend pool size, hedged reads, and deadline misses",
+		Claim: "the frontend is stateless — any device can run one, so heavy query traffic is served by many frontends behind a balancer",
+		Run:   runE14,
+	})
+}
+
+// runE14 measures the serving tier in the simulator's own currency. A
+// fixed 8-client query workload is replayed against pools of 1/2/4/8
+// frontends, hedging off and on. Reported per configuration:
+//
+//   - p50/p99 simulated per-query latency: hedging attacks the p99 tail
+//     (the slowest shard fetch is duplicated, first reply wins);
+//   - deadline miss rate against a fixed per-query simulated deadline;
+//   - serving makespan (the busiest frontend's accumulated simulated
+//     time — each frontend serializes its own queries) and the
+//     throughput speedup over pool=1.
+func runE14(seed uint64) []*metrics.Table {
+	const (
+		peers      = 24
+		bees       = 6
+		docs       = 96
+		clients    = 8
+		perClient  = 12
+		deadlineMS = 400
+	)
+
+	t := metrics.NewTable("E14 — serving tier: pool size × hedging",
+		"pool", "hedged", "p50 ms", "p99 ms", "miss rate", "makespan ms", "speedup")
+	var baseMakespan time.Duration
+	for _, hedged := range []bool{false, true} {
+		for _, size := range []int{1, 2, 4, 8} {
+			c, corp := buildWorkloadCluster(seed, peers, bees, docs)
+			pool := core.NewFrontendPool(c, size, hedged, deadlineMS*time.Millisecond)
+			// One fixed workload for every configuration: the columns
+			// compare pool shapes, not query samples.
+			queries := corp.Queries(seed, clients*perClient, 2)
+
+			var lat metrics.Histogram
+			misses := 0
+			for i, q := range queries {
+				resp, err := pool.Execute(core.Query{Raw: q.Text, Mode: core.PlanAll, Limit: 10})
+				if errors.Is(err, core.ErrDeadlineExceeded) {
+					misses++
+					lat.AddDuration(resp.Cost.Latency)
+					continue
+				}
+				if err != nil {
+					panic(fmt.Sprintf("E14 query %d: %v", i, err))
+				}
+				lat.AddDuration(resp.Cost.Latency)
+			}
+
+			var makespan time.Duration
+			for _, f := range pool.Stats().Frontends {
+				if f.BusySim > makespan {
+					makespan = f.BusySim
+				}
+			}
+			if size == 1 && !hedged {
+				baseMakespan = makespan
+			}
+			speedup := 0.0
+			if makespan > 0 && baseMakespan > 0 {
+				speedup = float64(baseMakespan) / float64(makespan)
+			}
+			t.AddRow(size, onOff(hedged),
+				lat.Median()*1000, lat.Quantile(0.99)*1000,
+				float64(misses)/float64(len(queries)),
+				float64(makespan)/float64(time.Millisecond), speedup)
+		}
+	}
+	return []*metrics.Table{t}
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}

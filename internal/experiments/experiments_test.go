@@ -7,10 +7,10 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
-		t.Fatalf("registered %d experiments, want 13", len(all))
+	if len(all) != 14 {
+		t.Fatalf("registered %d experiments, want 14", len(all))
 	}
-	// IDs E1..E13 in order.
+	// IDs E1..E14 in order.
 	for i, e := range all {
 		want := "E" + itoa(i+1)
 		if e.ID != want {

@@ -23,6 +23,7 @@
 package netsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -44,6 +45,10 @@ var (
 	ErrOverloaded    = errors.New("netsim: target node overloaded")
 	ErrNoHandler     = errors.New("netsim: node has no handler")
 	ErrSelfUnderload = errors.New("netsim: caller node is down")
+	// ErrCancelled is returned by CallCtx when the request context was
+	// done before the message hit the wire. The error wraps the context's
+	// own error too, so callers can match either sentinel.
+	ErrCancelled = errors.New("netsim: call cancelled")
 )
 
 // Cost accounts the simulated expense of one or more RPCs.
@@ -440,6 +445,32 @@ func (n *Network) Call(from, to NodeID, req any) (resp any, cost Cost, err error
 	}
 	n.mu.Unlock()
 	return resp, cost, err
+}
+
+// CallCtx is Call with a request lifecycle: when ctx is already done the
+// call short-circuits BEFORE touching any RNG stream — a cancelled call
+// consumes no drop/shedding/jitter draws, so the i-th *executed* message
+// on every link still observes the same draws no matter how many
+// abandoned calls were interleaved with it (the per-seed determinism
+// contract survives cancellation; pinned by the interleaving tests).
+//
+// A short-circuited call costs nothing and moves no bytes: it never
+// reached the wire. Wave-level accounting stays with the caller — the
+// legs a wave completed before the cancel keep their full cost, so a
+// cancelled wave is costed as the partial wave it actually ran. The
+// returned error wraps both ErrCancelled and the context's own error.
+//
+// Cancellation cannot interrupt a handler mid-execution: the simulator
+// is synchronous, so a call that starts always completes and is costed
+// in full. The deterministic cancellation points are the call
+// boundaries.
+func (n *Network) CallCtx(ctx context.Context, from, to NodeID, req any) (resp any, cost Cost, err error) {
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, Cost{}, fmt.Errorf("%w: %w", ErrCancelled, cerr)
+		}
+	}
+	return n.Call(from, to, req)
 }
 
 // nodeDist is the normalized [0,1] distance between two nodes in the 2-D

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"sync"
@@ -417,5 +418,82 @@ func TestReRegisterKeepsPosition(t *testing.T) {
 	_, after, _ := n.Call("a", "b", 1)
 	if before.Latency != after.Latency {
 		t.Fatalf("latency changed after re-register: %v vs %v", before.Latency, after.Latency)
+	}
+}
+
+// TestCallCtxCancelledShortCircuits: a call issued under a done context
+// never hits the wire — zero cost, no bytes, the typed sentinel, and
+// both the netsim and the context errors matchable.
+func TestCallCtxCancelledShortCircuits(t *testing.T) {
+	n := newTestNet(t, "a", "b")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	resp, cost, err := n.CallCtx(ctx, "a", "b", "hello")
+	if !errors.Is(err, ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCancelled wrapping context.Canceled", err)
+	}
+	if resp != nil || cost != (Cost{}) {
+		t.Fatalf("cancelled call leaked work: resp=%v cost=%+v", resp, cost)
+	}
+}
+
+// TestCallCtxCancelConsumesNoDraws pins the stream-desync contract:
+// interleaving cancelled CallCtx calls between executed ones must not
+// shift the i-th executed call's jitter draws on any link — the two
+// runs below observe byte-identical per-call costs.
+func TestCallCtxCancelConsumesNoDraws(t *testing.T) {
+	run := func(withCancelled bool) []Cost {
+		n := newTestNet(t, "a", "b", "c")
+		done, cancel := context.WithCancel(context.Background())
+		cancel()
+		var costs []Cost
+		for i := 0; i < 6; i++ {
+			if withCancelled {
+				// Abandoned calls on BOTH links, before every executed call.
+				if _, _, err := n.CallCtx(done, "a", "b", i); !errors.Is(err, ErrCancelled) {
+					t.Fatalf("want cancelled, got %v", err)
+				}
+				if _, _, err := n.CallCtx(done, "a", "c", i); !errors.Is(err, ErrCancelled) {
+					t.Fatalf("want cancelled, got %v", err)
+				}
+			}
+			_, c1, err := n.CallCtx(context.Background(), "a", "b", i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, c2, err := n.CallCtx(context.Background(), "a", "c", i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			costs = append(costs, c1, c2)
+		}
+		return costs
+	}
+	clean, interleaved := run(false), run(true)
+	for i := range clean {
+		if clean[i] != interleaved[i] {
+			t.Fatalf("executed call %d drew differently with cancellations interleaved: %+v vs %+v",
+				i, clean[i], interleaved[i])
+		}
+	}
+}
+
+// TestCallCtxLiveMatchesCall: with a live context, CallCtx is Call —
+// same draws, same costs, same stats accounting.
+func TestCallCtxLiveMatchesCall(t *testing.T) {
+	n1 := newTestNet(t, "a", "b")
+	n2 := newTestNet(t, "a", "b")
+	for i := 0; i < 4; i++ {
+		_, c1, err1 := n1.Call("a", "b", i)
+		_, c2, err2 := n2.CallCtx(context.Background(), "a", "b", i)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if c1 != c2 {
+			t.Fatalf("call %d: Call cost %+v, CallCtx cost %+v", i, c1, c2)
+		}
+	}
+	if s1, s2 := n1.StatsSnapshot(), n2.StatsSnapshot(); s1 != s2 {
+		t.Fatalf("stats diverged: %+v vs %+v", s1, s2)
 	}
 }

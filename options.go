@@ -90,6 +90,35 @@ func WithParallelRounds(on bool) Option {
 	return func(c *core.Config) { c.ParallelRounds = on }
 }
 
+// WithFrontendPool sets the serving tier's size: n stateless frontends,
+// each attached to its own peer with its own byte-budgeted caches,
+// behind a deterministic least-loaded balancer (fewest in-flight, then
+// least accumulated simulated serving time, then round-robin). Results
+// are frontend-independent, so the pool size never changes responses —
+// it divides the serving tier's simulated makespan, which
+// Engine.PoolStats exposes per frontend. Non-positive selects 1.
+func WithFrontendPool(n int) Option {
+	return func(c *core.Config) { c.PoolSize = n }
+}
+
+// WithHedgedReads duplicates each query's slowest shard fetch on a
+// second pool frontend: the first reply wins the latency, both replies
+// pay their bytes and messages, and a fetch that failed on the primary
+// frontend is rescued when the hedge succeeds. Requires
+// WithFrontendPool(n ≥ 2); a size-1 pool runs unhedged.
+func WithHedgedReads(on bool) Option {
+	return func(c *core.Config) { c.HedgedReads = on }
+}
+
+// WithDefaultDeadline bounds the simulated latency of every query that
+// carries no deadline of its own: once the accumulated simulated cost
+// reaches d at a checkpoint, the remaining waves are abandoned and the
+// query fails with ErrDeadlineExceeded plus a partial Explain trace.
+// Deterministic per seed. Zero means no bound.
+func WithDefaultDeadline(d time.Duration) Option {
+	return func(c *core.Config) { c.DefaultDeadline = d }
+}
+
 // WithSharedNetStream switches the network simulation back to the legacy
 // single RNG stream for jitter/drop draws. Simulated costs then match
 // historical golden values exactly, but concurrent queries lose per-seed

@@ -1,6 +1,7 @@
 package queenbee
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -11,15 +12,19 @@ import (
 )
 
 // Engine is a running QueenBee deployment (simulated swarm + chain +
-// contract + frontend). Create with New; drive with Publish / Run /
+// contract + serving tier). Create with New; drive with Publish / Run /
 // Search.
 //
 // Concurrency: the query side — Search, SearchAny, SearchPhrase,
-// SearchSnippets, Query builders, Fetch — is safe for concurrent use,
-// and with the default per-link network streams the same seed yields
-// byte-identical results whether queries run sequentially or raced
-// across goroutines (cmd/queenbeed serves HTTP on exactly this
-// contract; docs/serving.md has the design). Mutating methods (Publish,
+// SearchSnippets, the *Ctx variants, Query builders, Fetch — is safe
+// for concurrent use, and with the default per-link network streams the
+// same seed yields byte-identical results whether queries run
+// sequentially or raced across goroutines (cmd/queenbeed serves HTTP on
+// exactly this contract; docs/serving.md has the design). Queries are
+// served by a pool of per-peer frontends behind a deterministic
+// least-loaded balancer (WithFrontendPool); results are
+// frontend-independent, so the pool size never changes responses, only
+// simulated costs and serving makespan. Mutating methods (Publish,
 // PublishBatch, Run, NewAccount, RegisterAd, Click, ComputeRanks, ...)
 // remain a single deterministic driver: do not run them concurrently
 // with each other or with queries. Inside that single driver the write
@@ -30,8 +35,8 @@ import (
 type Engine struct {
 	// Cluster exposes the full simulation for advanced use (experiment
 	// harnesses, fault injection). Most callers never need it.
-	Cluster  *core.Cluster
-	frontend *core.Frontend
+	Cluster *core.Cluster
+	pool    *core.FrontendPool
 }
 
 // Account is a funded identity that can publish, advertise and click.
@@ -69,8 +74,8 @@ func New(opts ...Option) *Engine {
 	}
 	cluster := core.NewCluster(cfg)
 	return &Engine{
-		Cluster:  cluster,
-		frontend: core.NewFrontend(cluster, cluster.Peers[0]),
+		Cluster: cluster,
+		pool:    core.NewFrontendPool(cluster, cfg.PoolSize, cfg.HedgedReads, cfg.DefaultDeadline),
 	}
 }
 
@@ -170,7 +175,16 @@ func (e *Engine) RunUntilIdle() {
 // All mode; use Query directly for boolean operators, exclusions,
 // site: filters, pagination and Explain.
 func (e *Engine) Search(query string, k int) ([]Result, []Ad, error) {
-	return collapse(e.Query(query).All().Limit(k).Run())
+	return e.SearchCtx(context.Background(), query, k)
+}
+
+// SearchCtx is Search with a request lifecycle: cancelling ctx abandons
+// the query's remaining simulated waves and fails it with
+// ErrDeadlineExceeded (caches and singleflights stay consistent). Pair
+// with WithDefaultDeadline or QueryCtx(...).Deadline(d) for simulated
+// latency bounds.
+func (e *Engine) SearchCtx(ctx context.Context, query string, k int) ([]Result, []Ad, error) {
+	return collapse(e.QueryCtx(ctx, query).All().Limit(k).Run())
 }
 
 // SearchAny returns documents matching any query term (OR semantics); a
@@ -207,7 +221,7 @@ func (e *Engine) Fetch(r Result) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("queenbee: %q is not a registered page", r.URL)
 	}
-	data, _, err := e.frontend.FetchResult(core.Result{URL: r.URL, CID: rec.CID})
+	data, _, err := e.pool.Frontend(0).FetchResult(core.Result{URL: r.URL, CID: rec.CID})
 	if err != nil {
 		return "", err
 	}
@@ -289,14 +303,29 @@ type Summary struct {
 	Workers        int
 }
 
-// CacheStats is a snapshot of the query frontend's cache occupancy and
+// CacheStats is a snapshot of the query frontends' cache occupancy and
 // traffic counters (re-exported for serving surfaces like queenbeed).
 type CacheStats = core.CacheStats
 
-// CacheStats reports the query frontend's cache occupancy against its
-// configured byte budgets.
+// PoolStats is a snapshot of the serving tier: per-frontend load
+// counters (served, in-flight, accumulated simulated busy time, hedges,
+// caches) plus the deadline-miss count.
+type PoolStats = core.PoolStats
+
+// FrontendLoad is one frontend's serving counters (see PoolStats).
+type FrontendLoad = core.FrontendLoad
+
+// CacheStats reports cache occupancy against the configured byte
+// budgets, aggregated across every frontend in the pool (each frontend
+// owns independent caches; budgets and counters are summed).
 func (e *Engine) CacheStats() CacheStats {
-	return e.frontend.CacheStatsSnapshot()
+	return e.pool.CacheStatsSnapshot()
+}
+
+// PoolStats reports the serving tier's per-frontend load and the
+// deadline-miss count.
+func (e *Engine) PoolStats() PoolStats {
+	return e.pool.Stats()
 }
 
 // Stats returns the current deployment summary.
