@@ -55,6 +55,10 @@ type Response struct {
 	Cost Cost
 	// Explain is non-nil when the builder requested an execution trace.
 	Explain *Explain
+	// Degraded is non-nil when the deployment runs WithDegradedReads and
+	// this answer was assembled from a partial shard wave: it names the
+	// failed shards, the completeness fraction, and the first cause.
+	Degraded *Degraded
 }
 
 // QueryBuilder assembles one structured search fluently:
@@ -200,11 +204,12 @@ func (b *QueryBuilder) Run() (*Response, error) {
 		return nil, err
 	}
 	out := &Response{
-		Results: make([]Result, 0, len(resp.Results)),
-		Ads:     make([]Ad, 0, len(resp.Ads)),
-		Total:   resp.Total,
-		Cost:    resp.Cost,
-		Explain: resp.Explain,
+		Results:  make([]Result, 0, len(resp.Results)),
+		Ads:      make([]Ad, 0, len(resp.Ads)),
+		Total:    resp.Total,
+		Cost:     resp.Cost,
+		Explain:  resp.Explain,
+		Degraded: resp.Degraded,
 	}
 	for _, r := range resp.Results {
 		out.Results = append(out.Results, Result{URL: r.URL, Score: r.Score, Rank: r.Rank, Snippet: r.Snippet})

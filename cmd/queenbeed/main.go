@@ -9,7 +9,8 @@
 //	GET  /search?q=<query>[&page=N][&size=K][&mode=parsed|all|any|phrase][&snippets=1][&deadline_ms=D]
 //	GET  /explain?q=<query>           — the compiled plan with per-node counts and costs
 //	GET  /healthz                     — liveness, deployment summary, cache occupancy
-//	GET  /stats                       — serving tier: per-frontend load, caches, deadline misses
+//	GET  /readyz                      — readiness: per-shard index reachability (503 while degraded)
+//	GET  /stats                       — serving tier: per-frontend load, caches, deadline misses, repair counters
 //	POST /publish                     — ingest a page batch: {"pages":[{"url","text","links"}]}
 //
 // The default mode speaks the full structured query language (uppercase
@@ -102,6 +103,7 @@ func newHandler(e *queenbee.Engine, publisher *queenbee.Account, lim limits) htt
 	mux.HandleFunc("GET /search", s.handleSearch)
 	mux.HandleFunc("GET /explain", s.handleExplain)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("POST /publish", s.handlePublish)
 	inner := http.TimeoutHandler(mux, lim.timeout, `{"error":"request timed out"}`)
@@ -141,14 +143,23 @@ type adJSON struct {
 	BidPerClick uint64   `json:"bid_per_click"`
 }
 
+// degradedJSON flags a partial answer served under -degraded: the wave
+// legs that failed and how complete the answer is.
+type degradedJSON struct {
+	FailedShards []int   `json:"failed_shards"`
+	Completeness float64 `json:"completeness"`
+	Cause        string  `json:"cause"`
+}
+
 type searchJSON struct {
-	Query   string       `json:"query"`
-	Page    int          `json:"page"`
-	Size    int          `json:"size"`
-	Total   int          `json:"total"`
-	Results []resultJSON `json:"results"`
-	Ads     []adJSON     `json:"ads"`
-	Cost    costJSON     `json:"cost"`
+	Query    string        `json:"query"`
+	Page     int           `json:"page"`
+	Size     int           `json:"size"`
+	Total    int           `json:"total"`
+	Results  []resultJSON  `json:"results"`
+	Ads      []adJSON      `json:"ads"`
+	Cost     costJSON      `json:"cost"`
+	Degraded *degradedJSON `json:"degraded,omitempty"`
 }
 
 // buildQuery validates the request parameters and assembles the builder,
@@ -221,6 +232,9 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Results: make([]resultJSON, 0, len(resp.Results)),
 		Ads:     make([]adJSON, 0, len(resp.Ads)),
 		Cost:    costOf(resp.Cost),
+	}
+	if d := resp.Degraded; d != nil {
+		out.Degraded = &degradedJSON{FailedShards: d.FailedShards, Completeness: d.Completeness, Cause: d.Cause}
 	}
 	for _, res := range resp.Results {
 		out.Results = append(out.Results, resultJSON{URL: res.URL, Score: res.Score, Rank: res.Rank, Snippet: res.Snippet})
@@ -296,6 +310,62 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// readyJSON is the GET /readyz body: serving readiness as per-shard
+// index reachability, plus the self-healing counters so an operator
+// watching a degraded deployment can see repair progressing.
+type readyJSON struct {
+	Ready        bool       `json:"ready"`
+	ShardsTotal  int        `json:"shards_total"`
+	ShardsOK     int        `json:"shards_ok"`
+	FailedShards []int      `json:"failed_shards,omitempty"`
+	Repair       repairJSON `json:"repair"`
+}
+
+// handleReadyz answers readiness, distinct from /healthz liveness: the
+// process can be alive while churn has made index shards unreachable.
+// 200 when every shard's pointer is reachable, 503 while degraded —
+// load balancers and orchestration probes key off exactly this split.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	ready := s.engine.Ready()
+	repair := s.engine.RepairStats()
+	s.mu.RUnlock()
+	status := http.StatusOK
+	if !ready.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, readyJSON{
+		Ready:        ready.Ready,
+		ShardsTotal:  ready.ShardsTotal,
+		ShardsOK:     ready.ShardsOK,
+		FailedShards: ready.Failed,
+		Repair:       repairOf(repair),
+	})
+}
+
+// repairJSON renders the self-healing counters for /readyz and /stats.
+type repairJSON struct {
+	Runs         int      `json:"runs"`
+	ProbedKeys   int      `json:"probed_keys"`
+	Republished  int      `json:"republished"`
+	Reseeded     int      `json:"reseeded"`
+	SegmentsLost int      `json:"segments_lost"`
+	Reprovided   int      `json:"reprovided"`
+	Cost         costJSON `json:"cost"`
+}
+
+func repairOf(rs queenbee.RepairStats) repairJSON {
+	return repairJSON{
+		Runs:         rs.Runs,
+		ProbedKeys:   rs.ProbedKeys,
+		Republished:  rs.Republished,
+		Reseeded:     rs.Reseeded,
+		SegmentsLost: rs.SegmentsLost,
+		Reprovided:   rs.Reprovided,
+		Cost:         costOf(rs.Cost),
+	}
+}
+
 // frontendJSON is one pool frontend's load in GET /stats.
 type frontendJSON struct {
 	Served    int64               `json:"served"`
@@ -306,13 +376,15 @@ type frontendJSON struct {
 }
 
 // statsJSON is the GET /stats body: the serving tier's per-frontend
-// load counters, aggregate cache occupancy and deadline misses.
+// load counters, aggregate cache occupancy, deadline misses, and the
+// self-healing loops' repair counters.
 type statsJSON struct {
 	PoolSize       int                 `json:"pool_size"`
 	Hedged         bool                `json:"hedged"`
 	DeadlineMisses int64               `json:"deadline_misses"`
 	Frontends      []frontendJSON      `json:"frontends"`
 	Cache          queenbee.CacheStats `json:"cache"` // aggregated across the pool
+	Repair         repairJSON          `json:"repair"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -324,6 +396,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Hedged:         ps.Hedged,
 		DeadlineMisses: ps.DeadlineMisses,
 		Frontends:      make([]frontendJSON, 0, len(ps.Frontends)),
+		Repair:         repairOf(s.engine.RepairStats()),
 	}
 	for _, fl := range ps.Frontends {
 		out.Frontends = append(out.Frontends, frontendJSON{
@@ -522,13 +595,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // write side runs to completion before the first query is served. The
 // returned account owns the demo corpus and every page later ingested
 // through POST /publish.
-func buildEngine(seed uint64, peers, bees, docs, pool int, hedged bool) (*queenbee.Engine, *queenbee.Account) {
+func buildEngine(seed uint64, peers, bees, docs, pool int, hedged, maintenance, degraded bool) (*queenbee.Engine, *queenbee.Account) {
 	engine := queenbee.New(
 		queenbee.WithSeed(seed),
 		queenbee.WithPeers(peers),
 		queenbee.WithBees(bees),
 		queenbee.WithFrontendPool(pool),
 		queenbee.WithHedgedReads(hedged),
+		queenbee.WithMaintenance(maintenance),
+		queenbee.WithDegradedReads(degraded),
 	)
 	creator := engine.NewAccount("creator", 1_000_000)
 	ccfg := corpus.DefaultConfig()
@@ -559,6 +634,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	pool := flag.Int("pool", 4, "frontends in the serving tier")
 	hedged := flag.Bool("hedged", true, "hedge each query's slowest shard fetch on a second frontend")
+	maintenance := flag.Bool("maintenance", true, "run a self-healing pass (republish/re-seed/reprovide) after every protocol round")
+	degraded := flag.Bool("degraded", true, "serve partial answers with a degraded warning when some shards are unreachable")
 	maxQuery := flag.Int("max-query-bytes", 1024, "reject queries longer than this")
 	maxPage := flag.Int("max-page-size", 100, "largest size= a request may ask for")
 	maxBatch := flag.Int("max-batch-pages", 64, "largest page batch POST /publish accepts")
@@ -567,7 +644,7 @@ func main() {
 	flag.Parse()
 
 	log.Printf("booting QueenBee swarm: %d peers, %d bees, %d docs (seed %d)…", *peers, *bees, *docs, *seed)
-	engine, publisher := buildEngine(*seed, *peers, *bees, *docs, *pool, *hedged)
+	engine, publisher := buildEngine(*seed, *peers, *bees, *docs, *pool, *hedged, *maintenance, *degraded)
 	sum := engine.Stats()
 	log.Printf("index ready: %d pages, chain height %d, %d active bees, %d frontends (hedged=%v)",
 		sum.Pages, sum.Height, sum.Workers, engine.PoolStats().Size, engine.PoolStats().Hedged)

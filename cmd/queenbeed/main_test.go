@@ -24,7 +24,7 @@ var (
 func serverHandler(t *testing.T) http.Handler {
 	t.Helper()
 	handlerOnce.Do(func() {
-		engine, publisher := buildEngine(1, 10, 3, 12, 2, true)
+		engine, publisher := buildEngine(1, 10, 3, 12, 2, true, true, true)
 		testH = newHandler(engine, publisher, defaultLimits())
 		ccfg := corpus.DefaultConfig()
 		ccfg.Seed = 1
@@ -147,6 +147,27 @@ func TestHealthzEndpoint(t *testing.T) {
 	}
 	if out.Cache.SegBudget == 0 || out.Cache.ChainBudget == 0 {
 		t.Fatalf("healthz missing cache budgets: %+v", out.Cache)
+	}
+}
+
+// TestReadyzEndpoint: a healthy deployment answers 200 with every shard
+// reachable, and the repair counters ride along (maintenance runs after
+// publish rounds, so the loops have already probed).
+func TestReadyzEndpoint(t *testing.T) {
+	h := serverHandler(t)
+	var out readyJSON
+	getJSON(t, h, "/readyz", http.StatusOK, &out)
+	if !out.Ready || out.ShardsOK != out.ShardsTotal || len(out.FailedShards) != 0 {
+		t.Fatalf("readyz = %+v, want fully ready", out)
+	}
+	if out.ShardsTotal == 0 {
+		t.Fatalf("readyz reports no shards: %+v", out)
+	}
+	if out.Repair.Runs == 0 || out.Repair.ProbedKeys == 0 {
+		t.Fatalf("maintenance never ran on the serving engine: %+v", out.Repair)
+	}
+	if out.Repair.SegmentsLost != 0 {
+		t.Fatalf("healthy deployment lost segments: %+v", out.Repair)
 	}
 }
 

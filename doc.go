@@ -99,6 +99,26 @@
 // partial wave that actually ran. Same seed + same deadline ⇒ the same
 // stop point, every run.
 //
+// # Self-healing under churn
+//
+// The swarm is made of personal devices that crash, lose connectivity
+// and return without warning (docs/robustness.md has the full design).
+// WithFaultPlan installs a deterministic churn schedule — crashes,
+// recoveries, partitions, lossy-link episodes — that advances with the
+// chain, firing the same events on the same victims every run. Beneath
+// it, the DHT call layer retries transient failures (dropped messages,
+// overload shedding — netsim.Retryable) with deterministic
+// backoff+jitter, and iterative lookups widen their shortlist from the
+// full routing table when churn has eaten it. WithMaintenance runs a
+// self-healing pass after every round: under-replicated shard pointers
+// are republished, segments below K are re-seeded from a surviving
+// replica (hash-verified), and live peers re-announce their provider
+// records; Engine.RepairStats reports the accumulated repair work.
+// WithDegradedReads lets a query whose wave lost some shards return the
+// partial answer with a typed Degraded warning instead of failing, and
+// Engine.Ready summarizes per-shard reachability — served by queenbeed
+// as GET /readyz (200/503), distinct from /healthz liveness.
+//
 // # Concurrent ingest
 //
 // Inside that single driver, the write side is itself concurrent

@@ -228,12 +228,27 @@ func (e *CentralEngine) searchLocal(query string, k int) []string {
 	return urls
 }
 
+// centralSearchRetries bounds how many times a client re-issues a query
+// that failed transiently (dropped on a lossy link, shed by an
+// overloaded server). Structural failures — server down, partition —
+// are never retried.
+const centralSearchRetries = 2
+
 // Search issues a query from a client node over the network, so failures
 // (server down, partition, overload) behave like the real thing.
+// Transient failures are retried up to centralSearchRetries times, the
+// same client behavior the decentralized engine's DHT call layer has;
+// every attempt's simulated cost is accumulated.
 func (e *CentralEngine) Search(from netsim.NodeID, query string, k int) ([]string, netsim.Cost, error) {
-	resp, cost, err := e.net.Call(from, e.addr, searchReq{Query: query, K: k})
-	if err != nil {
-		return nil, cost, err
+	var total netsim.Cost
+	for attempt := 0; ; attempt++ {
+		resp, cost, err := e.net.Call(from, e.addr, searchReq{Query: query, K: k})
+		total = total.Seq(cost)
+		if err == nil {
+			return resp.(searchResp).URLs, total, nil
+		}
+		if !netsim.Retryable(err) || attempt >= centralSearchRetries {
+			return nil, total, err
+		}
 	}
-	return resp.(searchResp).URLs, cost, nil
 }

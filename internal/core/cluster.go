@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/chain"
@@ -69,6 +70,18 @@ type Config struct {
 	// no deadline of their own (see Query.Deadline). Zero means none.
 	DefaultDeadline time.Duration
 
+	// FaultPlan, when set, scripts churn against the cluster: the plan
+	// advances on every Seal using the cluster's simulated clock (epoch =
+	// boot), so "50% of peers crash mid-round" is a replayable schedule.
+	FaultPlan *netsim.FaultPlan
+	// Maintenance runs the self-healing pass (republish, re-seed, repair,
+	// reprovide — see RunMaintenance) at the end of every processed round.
+	Maintenance bool
+	// DegradedReads lets queries return partial results with a typed
+	// Degraded warning when some shards stay unreachable after retries,
+	// instead of failing the whole wave.
+	DegradedReads bool
+
 	Net      netsim.Config
 	DHT      dht.Config
 	Peer     store.PeerConfig
@@ -120,6 +133,12 @@ type Cluster struct {
 	rng      *xrand.RNG
 
 	nextRankEpoch uint64
+
+	// Fault injection and self-healing (see maintenance.go).
+	faultPlan  *netsim.FaultPlan
+	faultEpoch time.Time
+	repairMu   sync.Mutex
+	repair     RepairStats
 }
 
 // treasurySupply is the genesis allocation the faucet draws from.
@@ -172,6 +191,11 @@ func NewCluster(cfg Config) *Cluster {
 		c.AddBee(fmt.Sprintf("bee-%03d", i))
 	}
 	c.Seal()
+	// A config-supplied fault plan starts its clock now — after boot — so
+	// event times are relative to the healthy, bootstrapped deployment.
+	if cfg.FaultPlan != nil {
+		c.SetFaultPlan(cfg.FaultPlan)
+	}
 	return c
 }
 
@@ -250,10 +274,26 @@ func (c *Cluster) nonce(a chain.Address) uint64 {
 }
 
 // Seal advances simulated time by one block interval and seals a block.
+// If a fault plan is attached, its due events fire here — churn lands at
+// block boundaries, which is where the simulated world moves.
 func (c *Cluster) Seal() *chain.Block {
 	c.Clock.Advance(c.cfg.BlockInterval)
-	return c.Chain.Seal()
+	b := c.Chain.Seal()
+	if c.faultPlan != nil {
+		c.faultPlan.Advance(c.Clock.Since(c.faultEpoch), c.Net)
+	}
+	return b
 }
+
+// SetFaultPlan attaches a churn schedule whose event times are measured
+// from now; due events fire on each subsequent Seal.
+func (c *Cluster) SetFaultPlan(p *netsim.FaultPlan) {
+	c.faultPlan = p
+	c.faultEpoch = c.Clock.Now()
+}
+
+// FaultPlan returns the attached churn schedule, if any.
+func (c *Cluster) FaultPlan() *netsim.FaultPlan { return c.faultPlan }
 
 // Config returns the cluster configuration.
 func (c *Cluster) Config() Config { return c.cfg }
@@ -301,6 +341,11 @@ func (c *Cluster) ProcessRoundReceipt() RoundReceipt {
 		}
 		c.Seal()
 		c.materializePass(&r)
+	}
+	// Self-healing: with Maintenance on, every round ends with a repair
+	// pass, so churn damage is bounded by one round's exposure.
+	if c.cfg.Maintenance {
+		c.RunMaintenance()
 	}
 	return r
 }

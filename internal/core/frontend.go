@@ -149,6 +149,19 @@ type SearchResponse struct {
 	Total int
 	// Explain is the execution trace; nil unless Query.Explain was set.
 	Explain *Explain
+	// Degraded is set when the answer was composed from a partial shard
+	// wave (Config.DegradedReads); nil on a complete answer.
+	Degraded *Degraded
+}
+
+// Degraded is the typed warning attached to a partial answer: which
+// shards stayed unreachable after retries, the fraction of the wave
+// that did load, and the error that failed the first missing shard.
+type Degraded struct {
+	FailedShards []int
+	// Completeness is loaded shards / wave shards, in (0, 1).
+	Completeness float64
+	Cause        string
 }
 
 // Search runs the full frontend pipeline for a conjunctive (AND) query.
@@ -420,9 +433,11 @@ func (f *Frontend) loadShardCtx(bud reqBudget, e0 time.Duration, shard int) (*in
 // sequential so historical golden costs cannot shift.
 //
 // On failure every fetch was still in flight, so the full wave cost is
-// reported alongside a nil map and the error of the lowest-indexed
-// failing shard — Explain's shard-wave accounting stays consistent for
-// failed waves (asserted in plan_test.go).
+// reported alongside the error of the lowest-indexed failing shard —
+// Explain's shard-wave accounting stays consistent for failed waves
+// (asserted in plan_test.go). The map still carries every shard that DID
+// load, so callers with DegradedReads enabled can compose a partial
+// answer instead of discarding the wave.
 func (f *Frontend) loadShards(shards []int) (map[int]*index.Segment, netsim.Cost, error) {
 	return f.loadShardsCtx(reqBudget{}, 0, shards)
 }
@@ -456,10 +471,7 @@ func (f *Frontend) loadShardsCtx(bud reqBudget, e0 time.Duration, shards []int) 
 		}
 		out[shards[i]] = segs[i]
 	}
-	if firstErr != nil {
-		return nil, cost, firstErr
-	}
-	return out, cost, nil
+	return out, cost, firstErr
 }
 
 // hedgeLeg duplicates one leg of a completed shard wave on the

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+
+	"repro/internal/dht"
+	"repro/internal/index"
+	"repro/internal/netsim"
+)
+
+// RepairStats accumulates what the self-healing loops have done: how
+// many keys were probed, how many records were pushed back to full
+// replication, how many lost segments were re-materialized, and the
+// total simulated traffic the maintenance spent doing it.
+type RepairStats struct {
+	// Runs counts completed maintenance passes.
+	Runs int
+	// ProbedKeys counts replica-count probes issued (pointers, segments,
+	// and the stats record).
+	ProbedKeys int
+	// Republished counts versioned records (shard pointers, index stats)
+	// pushed back to the current k closest nodes.
+	Republished int
+	// Reseeded counts immutable segments re-materialized from a surviving
+	// replica after their replication dropped below K.
+	Reseeded int
+	// SegmentsLost gauges segments referenced by a pointer chain with no
+	// reachable replica as of the most recent pass — data repair cannot
+	// currently recover. A gauge, not a cumulative counter: a segment
+	// invisible during a network storm stops counting once a later pass
+	// reaches it again.
+	SegmentsLost int
+	// Reprovided counts provider records re-announced by live peers.
+	Reprovided int
+	// Cost is the total simulated traffic maintenance has spent.
+	Cost netsim.Cost
+}
+
+// RepairStats returns a snapshot of the accumulated maintenance
+// counters. Safe for concurrent use (the daemon reads it while rounds
+// run).
+func (c *Cluster) RepairStats() RepairStats {
+	c.repairMu.Lock()
+	defer c.repairMu.Unlock()
+	return c.repair
+}
+
+// replicationTarget is the replica count maintenance restores toward:
+// the DHT's K.
+func (c *Cluster) replicationTarget() int {
+	if k := c.cfg.DHT.K; k > 0 {
+		return k
+	}
+	return 8
+}
+
+// maintenanceNode picks the DHT node that drives repair traffic. Bees
+// are the natural maintainers — they wrote the records and never churn
+// in the fault plans — falling back to the first live peer.
+func (c *Cluster) maintenanceNode() *dht.Node {
+	for _, b := range c.Bees {
+		if !c.Net.IsDown(b.Peer.Addr()) {
+			return b.Peer.DHT()
+		}
+	}
+	for _, p := range c.Peers {
+		if !c.Net.IsDown(p.Addr()) {
+			return p.DHT()
+		}
+	}
+	return nil
+}
+
+// RunMaintenance executes one self-healing pass and returns what this
+// pass did. Three loops, in deterministic order:
+//
+//  1. Republish: every shard pointer (and the stats record) is probed;
+//     a record replicated below K is re-Put at its current version,
+//     landing it on the current k closest nodes.
+//  2. Re-seed + repair: every segment referenced by a pointer chain is
+//     probed; one replicated below K is fetched from a surviving
+//     replica, hash-verified, and re-Put. A segment with no surviving
+//     replica is counted lost (nothing to re-materialize from).
+//  3. Reprovide: every live peer re-announces its provider records, so
+//     content discovery survives the loss of the nodes that held the
+//     provider lists.
+//
+// The pass is driven from a single live node (a bee when possible), in
+// ascending shard / chain order, so its traffic — and therefore every
+// RNG draw it causes — is identical across runs.
+func (c *Cluster) RunMaintenance() RepairStats {
+	var pass RepairStats
+	d := c.maintenanceNode()
+	if d == nil {
+		return pass
+	}
+	k := c.replicationTarget()
+
+	probeValue := func(key dht.Key, seq uint64, val []byte) {
+		pass.ProbedKeys++
+		n, cost := d.ProbeReplication(key)
+		pass.Cost = pass.Cost.Seq(cost)
+		if n >= k {
+			return
+		}
+		_, cost, err := d.Put(key, val, seq)
+		pass.Cost = pass.Cost.Seq(cost)
+		if err == nil {
+			pass.Republished++
+		}
+	}
+
+	// 1+2. Shard pointers, then each pointer's segment chain.
+	for shard := 0; shard < c.cfg.NumShards; shard++ {
+		key := dht.KeyOfString(index.ShardPointerKey(shard))
+		val, seq, cost, err := d.Get(key)
+		pass.Cost = pass.Cost.Seq(cost)
+		if err != nil {
+			// Never-written shards (or a pointer wholly lost to churn —
+			// nothing to repair from) are skipped.
+			continue
+		}
+		probeValue(key, seq, val)
+
+		var ptr ShardPointer
+		if json.Unmarshal(val, &ptr) != nil {
+			continue
+		}
+		for _, digest := range ptr.Digests {
+			segKey := dht.KeyOfString(index.SegmentKey(digest))
+			pass.ProbedKeys++
+			n, cost := d.ProbeReplication(segKey)
+			pass.Cost = pass.Cost.Seq(cost)
+			if n >= k {
+				continue
+			}
+			raw, cost, err := d.GetImmutable(segKey)
+			pass.Cost = pass.Cost.Seq(cost)
+			if err != nil || index.DigestOf(raw) != digest {
+				// Lost means NOTHING answered: the probe saw zero replicas
+				// and the fetch found no (intact) copy. A failed fetch with
+				// a live replica on record is transient — the next pass
+				// retries instead of declaring data gone under a storm.
+				if n == 0 {
+					pass.SegmentsLost++
+				}
+				continue
+			}
+			_, cost, err = d.Put(segKey, raw, 0)
+			pass.Cost = pass.Cost.Seq(cost)
+			if err == nil {
+				pass.Reseeded++
+			}
+		}
+	}
+
+	// Stats record.
+	statsKey := dht.KeyOfString(StatsKey)
+	if val, seq, cost, err := d.Get(statsKey); err == nil {
+		pass.Cost = pass.Cost.Seq(cost)
+		probeValue(statsKey, seq, val)
+	} else {
+		pass.Cost = pass.Cost.Seq(cost)
+	}
+
+	// 3. Provider republish from every live peer and bee, in slice order.
+	for _, p := range c.Peers {
+		if c.Net.IsDown(p.Addr()) {
+			continue
+		}
+		n, cost := p.Reprovide()
+		pass.Reprovided += n
+		pass.Cost = pass.Cost.Seq(cost)
+	}
+	for _, b := range c.Bees {
+		if c.Net.IsDown(b.Peer.Addr()) {
+			continue
+		}
+		n, cost := b.Peer.Reprovide()
+		pass.Reprovided += n
+		pass.Cost = pass.Cost.Seq(cost)
+	}
+
+	pass.Runs = 1
+	c.repairMu.Lock()
+	c.repair.Runs += pass.Runs
+	c.repair.ProbedKeys += pass.ProbedKeys
+	c.repair.Republished += pass.Republished
+	c.repair.Reseeded += pass.Reseeded
+	c.repair.SegmentsLost = pass.SegmentsLost // gauge: the latest pass's view
+	c.repair.Reprovided += pass.Reprovided
+	c.repair.Cost = c.repair.Cost.Seq(pass.Cost)
+	c.repairMu.Unlock()
+	return pass
+}
+
+// Readiness is the health summary /readyz serves: per-shard pointer
+// reachability through a live DHT node.
+type Readiness struct {
+	Ready       bool
+	ShardsTotal int
+	ShardsOK    int
+	// Failed lists the shards whose pointer record is unreachable.
+	Failed []int
+}
+
+// Readiness probes every shard pointer and reports which are currently
+// reachable. A shard that has never been written counts healthy (there
+// is nothing to serve yet); a shard whose pointer read fails counts
+// degraded.
+func (c *Cluster) Readiness() Readiness {
+	r := Readiness{ShardsTotal: c.cfg.NumShards}
+	d := c.maintenanceNode()
+	if d == nil {
+		r.Failed = make([]int, 0, c.cfg.NumShards)
+		for shard := 0; shard < c.cfg.NumShards; shard++ {
+			r.Failed = append(r.Failed, shard)
+		}
+		return r
+	}
+	for shard := 0; shard < c.cfg.NumShards; shard++ {
+		_, _, _, err := d.Get(dht.KeyOfString(index.ShardPointerKey(shard)))
+		if err == nil || errors.Is(err, dht.ErrNotFound) {
+			r.ShardsOK++
+			continue
+		}
+		r.Failed = append(r.Failed, shard)
+	}
+	r.Ready = r.ShardsOK == r.ShardsTotal
+	return r
+}

@@ -112,6 +112,12 @@ type Explain struct {
 	// and later stages may be missing entirely. Deadline-failed queries
 	// always carry a partial trace, whether or not Explain was requested.
 	Partial bool
+	// DegradedShards lists the wave shards that stayed unreachable when
+	// the answer was composed from a partial wave (Config.DegradedReads);
+	// empty on a complete answer. Completeness is loaded/total wave
+	// shards — 1.0 when the wave fully loaded.
+	DegradedShards []int
+	Completeness   float64
 }
 
 // String renders the trace as an indented plan tree for CLI output.
@@ -223,20 +229,37 @@ func (f *Frontend) ExecuteCtx(ctx context.Context, q Query) (SearchResponse, err
 		if lifecycleErr(err) {
 			return partialTrace(nil, 0, loadCost, netsim.Cost{}, asLifecycle(err))
 		}
-		// A failed wave still carries its accounting: every shard fetch
-		// was in flight, so Explain (when requested) records the wave and
-		// its full cost even though no results can be composed.
-		if q.Explain {
-			resp.Explain = &Explain{
-				Query:     q.Raw,
-				Mode:      q.Mode.String(),
-				Terms:     allTerms,
-				Shards:    shards,
-				LoadCost:  loadCost,
-				TotalCost: resp.Cost,
+		if f.cluster.cfg.DegradedReads && len(segsByShard) > 0 {
+			// Graceful degradation: some shards loaded, so compose a
+			// partial answer with a typed warning instead of failing the
+			// wave. Terms on the missing shards contribute no postings.
+			var failed []int
+			for _, s := range shards {
+				if _, ok := segsByShard[s]; !ok {
+					failed = append(failed, s)
+				}
 			}
+			resp.Degraded = &Degraded{
+				FailedShards: failed,
+				Completeness: float64(len(segsByShard)) / float64(len(shards)),
+				Cause:        err.Error(),
+			}
+		} else {
+			// A failed wave still carries its accounting: every shard fetch
+			// was in flight, so Explain (when requested) records the wave and
+			// its full cost even though no results can be composed.
+			if q.Explain {
+				resp.Explain = &Explain{
+					Query:     q.Raw,
+					Mode:      q.Mode.String(),
+					Terms:     allTerms,
+					Shards:    shards,
+					LoadCost:  loadCost,
+					TotalCost: resp.Cost,
+				}
+			}
+			return resp, fmt.Errorf("%w: %w", ErrShardUnavailable, err)
 		}
-		return resp, fmt.Errorf("%w: %w", ErrShardUnavailable, err)
 	}
 	// The wave completed; a deadline it overran still kills the query.
 	if err := bud.check(resp.Cost.Latency); err != nil {
@@ -244,7 +267,9 @@ func (f *Frontend) ExecuteCtx(ctx context.Context, q Query) (SearchResponse, err
 	}
 	merged := make(map[string]index.PostingList, len(allTerms))
 	for _, term := range allTerms {
-		merged[term] = segsByShard[shardOf[term]].Postings(term)
+		if seg, ok := segsByShard[shardOf[term]]; ok {
+			merged[term] = seg.Postings(term)
+		}
 	}
 
 	// Options are snapshotted once per query: concurrent SetUseGallop-
@@ -274,16 +299,21 @@ func (f *Frontend) ExecuteCtx(ctx context.Context, q Query) (SearchResponse, err
 	}
 	if q.Explain {
 		resp.Explain = &Explain{
-			Query:       q.Raw,
-			Mode:        q.Mode.String(),
-			Terms:       allTerms,
-			Shards:      shards,
-			Plan:        plan,
-			Candidates:  len(docs),
-			Returned:    len(resp.Results),
-			LoadCost:    loadCost,
-			SnippetCost: snippetCost,
-			TotalCost:   resp.Cost,
+			Query:        q.Raw,
+			Mode:         q.Mode.String(),
+			Terms:        allTerms,
+			Shards:       shards,
+			Plan:         plan,
+			Candidates:   len(docs),
+			Returned:     len(resp.Results),
+			LoadCost:     loadCost,
+			SnippetCost:  snippetCost,
+			TotalCost:    resp.Cost,
+			Completeness: 1.0,
+		}
+		if resp.Degraded != nil {
+			resp.Explain.DegradedShards = resp.Degraded.FailedShards
+			resp.Explain.Completeness = resp.Degraded.Completeness
 		}
 	}
 	return resp, nil

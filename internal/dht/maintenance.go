@@ -1,0 +1,32 @@
+package dht
+
+import (
+	"repro/internal/netsim"
+)
+
+// ProbeReplication counts how many of the k closest live nodes to key
+// currently hold a replica. It is the maintenance loop's health check:
+// a count below K means churn has eaten replicas and the key needs a
+// republish or re-seed. The probe is direct — one FIND_VALUE per
+// closest node after the lookup converges — so the count reflects what
+// a quorum read would actually see. This node's own replica is not
+// counted: maintenance cares about replicas that survive this node.
+func (n *Node) ProbeReplication(key Key) (int, netsim.Cost) {
+	closest, cost := n.lookupNodes(key)
+	replicas := 0
+	var probeCost netsim.Cost
+	for _, c := range closest {
+		if c.ID == n.self.ID {
+			continue
+		}
+		resp, cc, err := n.call(c, findValueReq{From: n.self, Key: key})
+		probeCost = probeCost.Par(cc)
+		if err != nil {
+			continue
+		}
+		if r, ok := resp.(findValueResp); ok && r.Found {
+			replicas++
+		}
+	}
+	return replicas, cost.Seq(probeCost)
+}

@@ -1,11 +1,13 @@
 package dht
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/netsim"
 )
@@ -25,11 +27,20 @@ type Config struct {
 	Alpha int
 	// MaxProvidersPerKey bounds the provider set stored per key.
 	MaxProvidersPerKey int
+	// MaxRetries is how many extra attempts a single RPC gets when the
+	// failure is transient (netsim.Retryable): dropped messages and shed
+	// requests are retried with backoff, structural failures (node down,
+	// partition) fail fast. 0 disables retries.
+	MaxRetries int
+	// RetryBackoff is the base simulated-time backoff between attempts;
+	// attempt i waits RetryBackoff<<i, jittered ±25% deterministically
+	// from the (caller, target, attempt) triple.
+	RetryBackoff time.Duration
 }
 
 // DefaultConfig returns the simulation defaults.
 func DefaultConfig() Config {
-	return Config{K: 8, Alpha: 3, MaxProvidersPerKey: 16}
+	return Config{K: 8, Alpha: 3, MaxProvidersPerKey: 16, MaxRetries: 2, RetryBackoff: 25 * time.Millisecond}
 }
 
 type storedValue struct {
@@ -61,6 +72,9 @@ func NewNode(net *netsim.Network, addr netsim.NodeID, cfg Config) *Node {
 	}
 	if cfg.MaxProvidersPerKey <= 0 {
 		cfg.MaxProvidersPerKey = 16
+	}
+	if cfg.MaxRetries > 0 && cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 25 * time.Millisecond
 	}
 	n := &Node{
 		cfg:       cfg,
@@ -171,16 +185,55 @@ func (n *Node) call(to Contact, req any) (any, netsim.Cost, error) {
 // cancellation never reached the peer, so — unlike a genuine RPC
 // failure — it does NOT mark the contact failed: abandoning a query
 // must not poison the routing table.
+//
+// Transient failures (netsim.Retryable: a dropped message, a shed
+// request) get up to cfg.MaxRetries extra attempts, each preceded by a
+// simulated exponential backoff with deterministic jitter. The backoff
+// is charged as latency on the accumulated cost — waiting is wall-clock
+// the caller pays — but adds no bytes or messages (the network already
+// charged each failed attempt's wire cost). Structural failures (node
+// down, partition, unknown node) fail fast: retrying cannot help until
+// the world changes, and only then is the contact marked failed.
 func (n *Node) callCtx(ctx context.Context, to Contact, req any) (any, netsim.Cost, error) {
-	resp, cost, err := n.net.CallCtx(ctx, n.self.Addr, to.Addr, req)
-	if err != nil {
-		if !errors.Is(err, netsim.ErrCancelled) {
-			n.rt.markFailed(to.ID)
+	var total netsim.Cost
+	for attempt := 0; ; attempt++ {
+		resp, cost, err := n.net.CallCtx(ctx, n.self.Addr, to.Addr, req)
+		total = total.Seq(cost)
+		if err == nil {
+			n.rt.update(to)
+			return resp, total, nil
 		}
-		return nil, cost, err
+		if errors.Is(err, netsim.ErrCancelled) {
+			return nil, total, err
+		}
+		if !netsim.Retryable(err) || attempt >= n.cfg.MaxRetries {
+			n.rt.markFailed(to.ID)
+			return nil, total, err
+		}
+		total = total.Seq(netsim.Cost{Latency: n.retryBackoff(to, attempt)})
 	}
-	n.rt.update(to)
-	return resp, cost, nil
+}
+
+// retryBackoff returns the simulated wait before retry number attempt:
+// exponential base doubling with a deterministic jitter factor in
+// [0.75, 1.25) derived by hashing the (caller, target, attempt) triple.
+// Pure hashing — no RNG stream is consumed — so retries never perturb
+// the per-link draw sequences other calls depend on.
+func (n *Node) retryBackoff(to Contact, attempt int) time.Duration {
+	base := n.cfg.RetryBackoff << uint(attempt)
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	mix(string(n.self.Addr))
+	mix("\x00")
+	mix(string(to.Addr))
+	mix(fmt.Sprintf("\x00%d", attempt))
+	factor := 0.75 + 0.5*float64(h>>11)/(1<<53)
+	return time.Duration(float64(base) * factor)
 }
 
 // Ping checks liveness of a contact.
@@ -275,7 +328,16 @@ func (n *Node) iterativeLookup(ctx context.Context, target Key, query func(Conta
 			}
 		}
 		if len(round) == 0 {
-			break
+			// Exhausted: every known candidate was queried or failed. Under
+			// churn the initial k-sized shortlist can die wholesale; before
+			// giving up, widen it from the rest of the routing table so the
+			// lookup falls back to farther live contacts. Healthy lookups
+			// never reach this with unqueried table entries left, so the
+			// widening changes nothing when no node has failed.
+			if countLive(states) >= n.cfg.K || !widen(n.rt, target, states, &shortlist) {
+				break
+			}
+			continue
 		}
 		var roundCost netsim.Cost
 		progressed := false
@@ -362,6 +424,33 @@ func (n *Node) iterativeLookup(ctx context.Context, target Key, query func(Conta
 		}
 	}
 	return result, total, nil
+}
+
+// countLive counts contacts queried successfully so far.
+func countLive(states map[Key]*lookupState) int {
+	live := 0
+	for _, st := range states {
+		if st.queried && !st.failed {
+			live++
+		}
+	}
+	return live
+}
+
+// widen refills an exhausted shortlist with routing-table contacts not
+// yet tried, reporting whether it added any. Only reached when failures
+// have eaten the original shortlist (see the lookup loop).
+func widen(rt *routingTable, target Key, states map[Key]*lookupState, shortlist *[]Contact) bool {
+	added := false
+	for _, c := range rt.closest(target, 1<<20) {
+		if _, ok := states[c.ID]; ok {
+			continue
+		}
+		states[c.ID] = &lookupState{}
+		*shortlist = append(*shortlist, c)
+		added = true
+	}
+	return added
 }
 
 // bestDistance returns the XOR distance of the closest non-failed contact
@@ -616,16 +705,22 @@ func (n *Node) RefreshBuckets(rounds int) netsim.Cost {
 }
 
 // Refresh re-replicates every locally stored value and provider record to
-// the current k closest nodes. Experiments call this after churn.
+// the current k closest nodes. Experiments and the maintenance loop call
+// this after churn. Keys are republished in sorted order so the network
+// traffic (and its RNG draws) is identical across runs.
 func (n *Node) Refresh() netsim.Cost {
 	n.mu.Lock()
+	keys := make([]Key, 0, len(n.values))
 	vals := make(map[Key]storedValue, len(n.values))
 	for k, v := range n.values {
+		keys = append(keys, k)
 		vals[k] = v
 	}
 	n.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i][:], keys[j][:]) < 0 })
 	var total netsim.Cost
-	for k, v := range vals {
+	for _, k := range keys {
+		v := vals[k]
 		_, cost, _ := n.Put(k, v.value, v.seq)
 		total = total.Seq(cost)
 	}

@@ -200,7 +200,16 @@ func TestSingleNodePutGet(t *testing.T) {
 func TestRefreshRestoresReplication(t *testing.T) {
 	net, nodes := buildSwarm(t, 24, DefaultConfig())
 	key := KeyOfString("refresh-me")
-	nodes[0].Put(key, []byte("data"), 1)
+	replicas, _, err := nodes[0].Put(key, []byte("data"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With K=8 and a fully bootstrapped 24-node swarm, the put lands on
+	// the k closest nodes — the fixture must yield a real replica set or
+	// the refresh assertion below tests nothing.
+	if replicas < 3 {
+		t.Fatalf("fixture produced %d replicas, want >= 3", replicas)
+	}
 
 	// Take down every node currently storing the value except one holder.
 	var holders []*Node
@@ -209,8 +218,8 @@ func TestRefreshRestoresReplication(t *testing.T) {
 			holders = append(holders, nd)
 		}
 	}
-	if len(holders) < 2 {
-		t.Skip("not enough replicas to exercise refresh")
+	if len(holders) < 3 {
+		t.Fatalf("found %d holders after a %d-replica put, want >= 3", len(holders), replicas)
 	}
 	for _, h := range holders[1:] {
 		net.SetDown(h.Self().Addr, true)
@@ -225,8 +234,8 @@ func TestRefreshRestoresReplication(t *testing.T) {
 			live++
 		}
 	}
-	if live < 2 {
-		t.Fatalf("live replicas after refresh = %d, want >= 2", live)
+	if live < 3 {
+		t.Fatalf("live replicas after refresh = %d, want >= 3", live)
 	}
 }
 

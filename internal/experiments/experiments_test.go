@@ -7,12 +7,15 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 14 {
-		t.Fatalf("registered %d experiments, want 14", len(all))
+	if len(all) != 15 {
+		t.Fatalf("registered %d experiments, want 15", len(all))
 	}
-	// IDs E1..E14 in order.
+	// E1..E14 consecutively, then E16 (E15 is reserved).
 	for i, e := range all {
-		want := "E" + itoa(i+1)
+		want := "E16"
+		if i < 14 {
+			want = "E" + itoa(i+1)
+		}
 		if e.ID != want {
 			t.Fatalf("order: got %s at %d, want %s", e.ID, i, want)
 		}

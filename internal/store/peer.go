@@ -1,9 +1,11 @@
 package store
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -68,6 +70,12 @@ type Peer struct {
 
 	tamperDetected atomic.Int64
 	blocksServed   atomic.Int64
+
+	// roots tracks every document root this peer has announced as a
+	// provider for, so maintenance can re-announce them after churn
+	// (the block store itself has no enumeration).
+	rootsMu sync.Mutex
+	roots   map[CID]bool
 }
 
 // NewPeer wraps an existing DHT node with content storage.
@@ -83,6 +91,7 @@ func NewPeer(net *netsim.Network, d *dht.Node, cfg PeerConfig) *Peer {
 		dht:    d,
 		net:    net,
 		blocks: NewBlockStore(cfg.CacheCapacity),
+		roots:  make(map[CID]bool),
 	}
 	net.Register(d.Self().Addr, p.HandleRPC)
 	return p
@@ -122,11 +131,43 @@ func (p *Peer) Add(data []byte) (CID, netsim.Cost, error) {
 	for _, b := range blocks {
 		p.blocks.Pin(b)
 	}
+	p.rememberRoot(root)
 	_, cost, err := p.dht.Provide(root.Key())
 	if err != nil {
 		return root, cost, fmt.Errorf("store: announcing %s: %w", root.Short(), err)
 	}
 	return root, cost, nil
+}
+
+func (p *Peer) rememberRoot(root CID) {
+	p.rootsMu.Lock()
+	p.roots[root] = true
+	p.rootsMu.Unlock()
+}
+
+// Reprovide re-announces this peer as a provider for every root it has
+// ever provided — the periodic provider-record republish a churning DHT
+// needs to keep content discoverable (provider records on departed
+// nodes are simply gone). Roots are announced in sorted order so the
+// traffic is deterministic. Returns the number of roots announced.
+func (p *Peer) Reprovide() (int, netsim.Cost) {
+	p.rootsMu.Lock()
+	roots := make([]CID, 0, len(p.roots))
+	for r := range p.roots {
+		roots = append(roots, r)
+	}
+	p.rootsMu.Unlock()
+	sort.Slice(roots, func(i, j int) bool { return bytes.Compare(roots[i][:], roots[j][:]) < 0 })
+	var total netsim.Cost
+	n := 0
+	for _, r := range roots {
+		_, cost, err := p.dht.Provide(r.Key())
+		total = total.Seq(cost)
+		if err == nil {
+			n++
+		}
+	}
+	return n, total
 }
 
 // Fetch retrieves a document by root CID: local store first, then
@@ -194,6 +235,7 @@ func (p *Peer) Fetch(root CID) ([]byte, netsim.Cost, error) {
 		total = total.Seq(cost)
 		if err == nil {
 			if p.cfg.ServeCache {
+				p.rememberRoot(root)
 				_, cost, _ := p.dht.Provide(root.Key())
 				total = total.Seq(cost)
 			}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/netsim"
 )
 
 // Option configures an Engine at construction.
@@ -117,6 +118,36 @@ func WithHedgedReads(on bool) Option {
 // Deterministic per seed. Zero means no bound.
 func WithDefaultDeadline(d time.Duration) Option {
 	return func(c *core.Config) { c.DefaultDeadline = d }
+}
+
+// WithFaultPlan installs a deterministic fault schedule: as the engine
+// seals blocks, simulated time advances through the plan's events —
+// crashes, recoveries, partitions, lossy-link episodes — firing each at
+// its scripted offset. Victim sampling is seeded by the plan, so the
+// same plan on the same deployment always kills the same nodes. Pair
+// with WithMaintenance and WithDegradedReads to study self-healing;
+// docs/robustness.md has the contract.
+func WithFaultPlan(p *netsim.FaultPlan) Option {
+	return func(c *core.Config) { c.FaultPlan = p }
+}
+
+// WithMaintenance runs one self-healing pass after every protocol
+// round: shard pointers and index stats replicated below K are
+// republished, segments below K are re-seeded from a surviving replica
+// (hash-verified), and live peers re-announce their provider records.
+// Engine.RepairStats reports what the loops have done. Off by default —
+// a healthy deployment's maintenance traffic is pure probe cost.
+func WithMaintenance(on bool) Option {
+	return func(c *core.Config) { c.Maintenance = on }
+}
+
+// WithDegradedReads lets a query whose wave lost some — but not all —
+// shards return the partial answer it could assemble, tagged with a
+// typed Degraded warning (failed shards, completeness fraction, cause)
+// instead of failing with ErrShardUnavailable. Off by default: the
+// all-or-nothing contract stands unless the deployment opts in.
+func WithDegradedReads(on bool) Option {
+	return func(c *core.Config) { c.DegradedReads = on }
 }
 
 // WithSharedNetStream switches the network simulation back to the legacy

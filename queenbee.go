@@ -9,6 +9,7 @@ import (
 	"repro/internal/chain"
 	"repro/internal/contracts"
 	"repro/internal/core"
+	"repro/internal/netsim"
 )
 
 // Engine is a running QueenBee deployment (simulated swarm + chain +
@@ -307,6 +308,40 @@ type Summary struct {
 // traffic counters (re-exported for serving surfaces like queenbeed).
 type CacheStats = core.CacheStats
 
+// RepairStats is a snapshot of the self-healing loops' accumulated
+// counters: keys probed, records republished, segments re-seeded or
+// lost, providers re-announced, and the simulated traffic spent.
+type RepairStats = core.RepairStats
+
+// Degraded is the typed warning a partial answer carries under
+// WithDegradedReads: which shards failed, the completeness fraction,
+// and the first underlying cause.
+type Degraded = core.Degraded
+
+// Readiness is the serving-health summary behind queenbeed's /readyz:
+// per-shard pointer reachability through a live DHT node.
+type Readiness = core.Readiness
+
+// FaultPlan is a deterministic schedule of churn events, installed with
+// WithFaultPlan (re-exported from the network simulation).
+type FaultPlan = netsim.FaultPlan
+
+// FaultEvent is one scripted entry of a FaultPlan.
+type FaultEvent = netsim.FaultEvent
+
+// FaultKind discriminates FaultEvent entries.
+type FaultKind = netsim.FaultKind
+
+// Re-exported fault kinds, so fault plans can be scripted without
+// importing the network simulation.
+const (
+	FaultCrash     = netsim.FaultCrash
+	FaultRecover   = netsim.FaultRecover
+	FaultPartition = netsim.FaultPartition
+	FaultHeal      = netsim.FaultHeal
+	FaultDropRate  = netsim.FaultDropRate
+)
+
 // PoolStats is a snapshot of the serving tier: per-frontend load
 // counters (served, in-flight, accumulated simulated busy time, hedges,
 // caches) plus the deadline-miss count.
@@ -326,6 +361,29 @@ func (e *Engine) CacheStats() CacheStats {
 // deadline-miss count.
 func (e *Engine) PoolStats() PoolStats {
 	return e.pool.Stats()
+}
+
+// RepairStats reports what the self-healing loops have done so far
+// (WithMaintenance runs them after every round; RunMaintenance drives a
+// pass by hand).
+func (e *Engine) RepairStats() RepairStats {
+	return e.Cluster.RepairStats()
+}
+
+// RunMaintenance drives one self-healing pass — republish, re-seed,
+// reprovide — and returns what this pass did. Useful for deployments
+// that schedule repair themselves instead of opting into
+// WithMaintenance's per-round hook.
+func (e *Engine) RunMaintenance() RepairStats {
+	return e.Cluster.RunMaintenance()
+}
+
+// Ready probes every shard pointer and reports serving readiness: the
+// deployment is ready when each shard's index is reachable through a
+// live DHT node (never-written shards count healthy). queenbeed serves
+// this as /readyz.
+func (e *Engine) Ready() Readiness {
+	return e.Cluster.Readiness()
 }
 
 // Stats returns the current deployment summary.
