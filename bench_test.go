@@ -10,10 +10,12 @@ package queenbee
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/dht"
@@ -345,6 +347,56 @@ func BenchmarkIngest(b *testing.B) {
 			if wave > 0 {
 				b.ReportMetric(float64(pages)/(float64(wave)/1e9), "sim_pages/s")
 				b.ReportMetric(float64(serial)/float64(wave), "sim_speedup")
+			}
+		})
+	}
+}
+
+// BenchmarkIngestPipeline measures the streaming crawl pipeline end to
+// end (fetch → extract → bounded queue → pipelined publish rounds) and
+// reports simulated pages/s at the ISSUE's two operating points: 8 bees
+// (commit-bound) and 64 bees (fetch-bound). Each iteration boots a
+// fresh engine outside the timer and crawls a 256-page corpus.
+func BenchmarkIngestPipeline(b *testing.B) {
+	cfg := corpus.DefaultConfig()
+	cfg.NumDocs = 256
+	cfg.MeanDocLen = 40
+	corp := corpus.Generate(cfg)
+	pages := make([]Page, len(corp.Docs))
+	seeds := make([]string, len(corp.Docs))
+	for i, d := range corp.Docs {
+		pages[i] = Page{URL: d.URL, Text: d.Text, Links: d.Links}
+		seeds[i] = d.URL
+	}
+	for _, bees := range []int{8, 64} {
+		b.Run(fmt.Sprintf("bees=%d", bees), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			var published int64
+			var makespan, serialMakespan time.Duration
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				e := New(WithSeed(1), WithPeers(12), WithBees(bees))
+				owner := e.NewAccount("crawler", 1<<40)
+				b.StartTimer()
+				st, err := e.Crawl(context.Background(), seeds, CrawlOptions{
+					Owner:        owner,
+					Pages:        pages,
+					FetchWorkers: 8,
+					QueueDepth:   8,
+					BatchSize:    32,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				published += int64(st.Published)
+				makespan += st.Makespan
+				serialMakespan += st.SerialMakespan
+			}
+			b.StopTimer()
+			if makespan > 0 {
+				b.ReportMetric(float64(published)/makespan.Seconds(), "sim_pages/s")
+				b.ReportMetric(float64(serialMakespan)/float64(makespan), "sim_speedup")
 			}
 		})
 	}

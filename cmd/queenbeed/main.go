@@ -10,7 +10,7 @@
 //	GET  /explain?q=<query>           — the compiled plan with per-node counts and costs
 //	GET  /healthz                     — liveness, deployment summary, cache occupancy
 //	GET  /readyz                      — readiness: per-shard index reachability (503 while degraded)
-//	GET  /stats                       — serving tier: per-frontend load, caches, deadline misses, repair counters
+//	GET  /stats                       — serving tier: per-frontend load, caches, deadline misses, repair and ingest counters
 //	POST /publish                     — ingest a page batch: {"pages":[{"url","text","links"}]}
 //
 // The default mode speaks the full structured query language (uppercase
@@ -39,11 +39,13 @@
 // Usage:
 //
 //	queenbeed -addr :8080 -peers 24 -bees 6 -docs 60
+//	queenbeed -crawl -docs 200        # boot corpus via the streaming crawler pipeline
 //	curl 'localhost:8080/search?q=decentralized+search&size=5'
 //	curl -X POST localhost:8080/publish -d '{"pages":[{"url":"dweb://new","text":"fresh words"}]}'
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -375,9 +377,47 @@ type frontendJSON struct {
 	Cache     queenbee.CacheStats `json:"cache"`
 }
 
+// ingestJSON renders the streaming pipeline's accumulated counters
+// (every Engine.Crawl on this deployment, e.g. a -crawl boot) for
+// GET /stats.
+type ingestJSON struct {
+	Fetched       int     `json:"fetched"`
+	FetchFailed   int     `json:"fetch_failed"`
+	Dangling      int     `json:"dangling"`
+	Deduped       int     `json:"deduped"`
+	Published     int     `json:"published"`
+	Batches       int     `json:"batches"`
+	RoundErrors   int     `json:"round_errors"`
+	QueueDepthMax int     `json:"queue_depth_max"`
+	QueueWaitUS   int64   `json:"queue_wait_us"`
+	StallWaitUS   int64   `json:"stall_wait_us"`
+	MakespanUS    int64   `json:"makespan_us"`
+	PagesPerSec   float64 `json:"sim_pages_per_sec"`
+	Speedup       float64 `json:"pipeline_speedup"`
+}
+
+func ingestOf(is queenbee.IngestStats) ingestJSON {
+	return ingestJSON{
+		Fetched:       is.Fetched,
+		FetchFailed:   is.FetchFailed,
+		Dangling:      is.Dangling,
+		Deduped:       is.Deduped,
+		Published:     is.Published,
+		Batches:       is.Batches,
+		RoundErrors:   is.RoundErrors,
+		QueueDepthMax: is.QueueDepthMax,
+		QueueWaitUS:   is.QueueWait.Microseconds(),
+		StallWaitUS:   is.StallWait.Microseconds(),
+		MakespanUS:    is.Makespan.Microseconds(),
+		PagesPerSec:   is.PagesPerSec(),
+		Speedup:       is.Speedup(),
+	}
+}
+
 // statsJSON is the GET /stats body: the serving tier's per-frontend
-// load counters, aggregate cache occupancy, deadline misses, and the
-// self-healing loops' repair counters.
+// load counters, aggregate cache occupancy, deadline misses, the
+// self-healing loops' repair counters, and the ingest pipeline's
+// accumulated crawl counters.
 type statsJSON struct {
 	PoolSize       int                 `json:"pool_size"`
 	Hedged         bool                `json:"hedged"`
@@ -385,6 +425,7 @@ type statsJSON struct {
 	Frontends      []frontendJSON      `json:"frontends"`
 	Cache          queenbee.CacheStats `json:"cache"` // aggregated across the pool
 	Repair         repairJSON          `json:"repair"`
+	Ingest         ingestJSON          `json:"ingest"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -397,6 +438,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		DeadlineMisses: ps.DeadlineMisses,
 		Frontends:      make([]frontendJSON, 0, len(ps.Frontends)),
 		Repair:         repairOf(s.engine.RepairStats()),
+		Ingest:         ingestOf(s.engine.IngestStats()),
 	}
 	for _, fl := range ps.Frontends {
 		out.Frontends = append(out.Frontends, frontendJSON{
@@ -436,7 +478,12 @@ type roundJSON struct {
 	PointerWrites int      `json:"pointer_writes"`
 	StatsWrites   int      `json:"stats_writes"`
 	Compactions   int      `json:"compactions"`
-	Errors        []string `json:"errors,omitempty"`
+	// Partial flags a round that succeeded overall but recorded per-bee
+	// write-path errors — some contributions may be missing from the
+	// materialized segments. Clients that treat 200 as "fully indexed"
+	// must check this; Errors carries the summary.
+	Partial bool     `json:"partial"`
+	Errors  []string `json:"errors,omitempty"`
 }
 
 func roundOf(rr queenbee.RoundReceipt) roundJSON {
@@ -449,6 +496,7 @@ func roundOf(rr queenbee.RoundReceipt) roundJSON {
 		PointerWrites: rr.PointerWrites,
 		StatsWrites:   rr.StatsWrites,
 		Compactions:   rr.Compactions,
+		Partial:       len(rr.Errors) > 0,
 	}
 	if wave := rr.Wave().Latency; wave > 0 {
 		out.Speedup = float64(rr.Serial().Latency) / float64(wave)
@@ -594,8 +642,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // buildEngine boots the deployment and indexes the demo corpus — the
 // write side runs to completion before the first query is served. The
 // returned account owns the demo corpus and every page later ingested
-// through POST /publish.
-func buildEngine(seed uint64, peers, bees, docs, pool int, hedged, maintenance, degraded bool) (*queenbee.Engine, *queenbee.Account) {
+// through POST /publish. With crawl set, the corpus arrives through the
+// streaming ingest pipeline (fetcher → extractor → bounded queue →
+// pipelined publish rounds, GET /stats shows the counters) instead of
+// one monolithic batch.
+func buildEngine(seed uint64, peers, bees, docs, pool int, hedged, maintenance, degraded, crawl bool) (*queenbee.Engine, *queenbee.Account) {
 	engine := queenbee.New(
 		queenbee.WithSeed(seed),
 		queenbee.WithPeers(peers),
@@ -611,12 +662,24 @@ func buildEngine(seed uint64, peers, bees, docs, pool int, hedged, maintenance, 
 	ccfg.NumDocs = docs
 	corp := corpus.Generate(ccfg)
 	pages := make([]queenbee.Page, 0, len(corp.Docs))
+	seeds := make([]string, 0, len(corp.Docs))
 	for _, d := range corp.Docs {
 		pages = append(pages, queenbee.Page{URL: d.URL, Text: d.Text, Links: d.Links})
+		seeds = append(seeds, d.URL)
 	}
-	// The demo corpus ships as one batch: one commit-reveal round, one
-	// shard-pointer write per touched shard.
-	if rr, err := engine.PublishBatch(creator, pages); err != nil {
+	if crawl {
+		st, err := engine.Crawl(context.Background(), seeds, queenbee.CrawlOptions{
+			Owner: creator,
+			Pages: pages,
+		})
+		if err != nil {
+			log.Fatalf("crawl corpus: %v", err)
+		}
+		log.Printf("crawled corpus: %d fetched, %d deduped, %d published in %d rounds (%.0f sim pages/s, %.2f× pipelining)",
+			st.Fetched, st.Deduped, st.Published, st.Batches, st.PagesPerSec(), st.Speedup())
+	} else if rr, err := engine.PublishBatch(creator, pages); err != nil {
+		// The demo corpus ships as one batch: one commit-reveal round,
+		// one shard-pointer write per touched shard.
 		log.Fatalf("publish corpus: %v", err)
 	} else if len(rr.Errors) > 0 {
 		log.Fatalf("publish corpus: round errors: %v", rr.Errors[0])
@@ -636,6 +699,7 @@ func main() {
 	hedged := flag.Bool("hedged", true, "hedge each query's slowest shard fetch on a second frontend")
 	maintenance := flag.Bool("maintenance", true, "run a self-healing pass (republish/re-seed/reprovide) after every protocol round")
 	degraded := flag.Bool("degraded", true, "serve partial answers with a degraded warning when some shards are unreachable")
+	crawl := flag.Bool("crawl", false, "ingest the boot corpus through the streaming crawler pipeline instead of one monolithic batch")
 	maxQuery := flag.Int("max-query-bytes", 1024, "reject queries longer than this")
 	maxPage := flag.Int("max-page-size", 100, "largest size= a request may ask for")
 	maxBatch := flag.Int("max-batch-pages", 64, "largest page batch POST /publish accepts")
@@ -644,7 +708,7 @@ func main() {
 	flag.Parse()
 
 	log.Printf("booting QueenBee swarm: %d peers, %d bees, %d docs (seed %d)…", *peers, *bees, *docs, *seed)
-	engine, publisher := buildEngine(*seed, *peers, *bees, *docs, *pool, *hedged, *maintenance, *degraded)
+	engine, publisher := buildEngine(*seed, *peers, *bees, *docs, *pool, *hedged, *maintenance, *degraded, *crawl)
 	sum := engine.Stats()
 	log.Printf("index ready: %d pages, chain height %d, %d active bees, %d frontends (hedged=%v)",
 		sum.Pages, sum.Height, sum.Workers, engine.PoolStats().Size, engine.PoolStats().Hedged)

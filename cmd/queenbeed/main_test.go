@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -9,6 +10,7 @@ import (
 	"sync"
 	"testing"
 
+	queenbee "repro"
 	"repro/internal/corpus"
 )
 
@@ -24,7 +26,7 @@ var (
 func serverHandler(t *testing.T) http.Handler {
 	t.Helper()
 	handlerOnce.Do(func() {
-		engine, publisher := buildEngine(1, 10, 3, 12, 2, true, true, true)
+		engine, publisher := buildEngine(1, 10, 3, 12, 2, true, true, true, false)
 		testH = newHandler(engine, publisher, defaultLimits())
 		ccfg := corpus.DefaultConfig()
 		ccfg.Seed = 1
@@ -264,6 +266,9 @@ func TestPublishEndpoint(t *testing.T) {
 	if len(out.Round.Errors) > 0 {
 		t.Fatalf("round errors: %v", out.Round.Errors)
 	}
+	if out.Round.Partial {
+		t.Fatalf("clean round flagged partial: %+v", out.Round)
+	}
 	if out.Round.WaveCost.Msgs == 0 {
 		t.Fatalf("round carries no simulated cost: %+v", out.Round)
 	}
@@ -298,6 +303,77 @@ func TestPublishRejectsBadBatches(t *testing.T) {
 	}
 	postJSON(t, h, "/publish", `{"pages":[`+strings.Join(pages, ",")+`]}`,
 		http.StatusBadRequest, nil)
+}
+
+// TestPublishPartialFailureSurfaced is the POST /publish audit: a round
+// receipt carrying per-bee errors must not render like a full success.
+// The JSON body flags it "partial": true with the error summary — the
+// exact shape a client retrying failed contributions keys off.
+func TestPublishPartialFailureSurfaced(t *testing.T) {
+	rr := queenbee.RoundReceipt{
+		Materialized: 3,
+		Errors: []queenbee.RoundError{
+			{Bee: "bee-2", Shard: 5, Stage: "segment-write", Err: errors.New("replica down")},
+			{Bee: "bee-4", Shard: -1, Task: "idx:9", Stage: "build", Err: errors.New("decode failed")},
+		},
+	}
+	out := roundOf(rr)
+	if !out.Partial {
+		t.Fatalf("receipt with %d errors not flagged partial: %+v", len(rr.Errors), out)
+	}
+	if len(out.Errors) != 2 || !strings.Contains(out.Errors[0], "bee-2") {
+		t.Fatalf("error summary lost: %+v", out.Errors)
+	}
+	enc, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(enc), `"partial":true`) {
+		t.Fatalf("partial flag missing from wire JSON: %s", enc)
+	}
+
+	// And a clean receipt stays non-partial with errors omitted.
+	clean, err := json.Marshal(roundOf(queenbee.RoundReceipt{Materialized: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(clean), `"partial":false`) || strings.Contains(string(clean), `"errors"`) {
+		t.Fatalf("clean receipt JSON: %s", clean)
+	}
+}
+
+// TestCrawlBootServesIngestStats boots a deployment in -crawl mode (the
+// corpus arrives through the streaming pipeline) and checks the crawl's
+// counters surface in GET /stats and the index still serves.
+func TestCrawlBootServesIngestStats(t *testing.T) {
+	engine, publisher := buildEngine(2, 10, 3, 24, 2, true, true, true, true)
+	h := newHandler(engine, publisher, defaultLimits())
+
+	var st statsJSON
+	getJSON(t, h, "/stats", http.StatusOK, &st)
+	in := st.Ingest
+	if in.Fetched != 24 || in.Published == 0 || in.Batches == 0 {
+		t.Fatalf("ingest counters = %+v, want the crawled corpus accounted", in)
+	}
+	if in.Published+in.Deduped != in.Fetched {
+		t.Fatalf("fetched pages neither published nor deduped: %+v", in)
+	}
+	if in.RoundErrors != 0 {
+		t.Fatalf("crawl rounds recorded errors: %+v", in)
+	}
+	if in.MakespanUS <= 0 || in.PagesPerSec <= 0 || in.Speedup < 1 {
+		t.Fatalf("ingest timing missing: %+v", in)
+	}
+
+	ccfg := corpus.DefaultConfig()
+	ccfg.Seed = 2
+	ccfg.NumDocs = 24
+	term := corpus.Generate(ccfg).Vocab(0)
+	var out searchJSON
+	getJSON(t, h, "/search?q="+term+"&size=5", http.StatusOK, &out)
+	if out.Total == 0 {
+		t.Fatalf("crawled index serves nothing for %q", term)
+	}
 }
 
 // canonicalSearch re-encodes a /search body with its cost zeroed:

@@ -1,0 +1,85 @@
+package queenbee
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/ingest"
+)
+
+// IngestStats is the streaming pipeline's counter/timing snapshot:
+// fetched, deduped, published, queue depth/wait, round phase busy
+// times, simulated makespan, and the derived sim pages/s and pipelining
+// speedup (see docs/ingest.md).
+type IngestStats = ingest.Stats
+
+// CrawlOptions tunes Engine.Crawl. The zero value of every field is
+// usable: a nil Owner gets a freshly funded crawler account, and the
+// pipeline knobs fall back to the ingest package defaults.
+type CrawlOptions struct {
+	// Owner publishes every crawled batch. Nil creates and funds a
+	// "crawler" account for this crawl.
+	Owner *Account
+	// Pages is the crawlable web: URLs resolve against this set, links
+	// walk it. Links pointing outside it count as dangling.
+	Pages []Page
+	// FetchWorkers, QueueDepth, BatchSize, MaxPages, Serial,
+	// DedupThreshold, FetchFailRate and MeanFetchLatency map directly
+	// onto ingest.Options (zero values select the defaults there).
+	FetchWorkers     int
+	QueueDepth       int
+	BatchSize        int
+	MaxPages         int
+	Serial           bool
+	DedupThreshold   float64
+	FetchFailRate    float64
+	MeanFetchLatency time.Duration
+}
+
+// Crawl runs the streaming ingest pipeline against this deployment:
+// fetch workers walk the link graph from seeds, pages are extracted and
+// near-duplicates demoted, and accepted pages are indexed through real
+// publish rounds in BatchSize batches — batch N+1's commit overlapping
+// round N's reveal in the simulated-time model. The randomness seed is
+// the deployment's (WithSeed), so a crawl is a pure function of the
+// engine configuration, the page set and the seeds: it leaves the DHT
+// byte-identical to a sequential PublishBatch loop over the same pages.
+//
+// Crawl is a mutating method — like Publish and Run it must not run
+// concurrently with other mutations or with queries. Cancelling ctx
+// abandons the crawl and returns ctx's error with partial stats.
+// Successful or not, the crawl's counters accumulate into IngestStats.
+func (e *Engine) Crawl(ctx context.Context, seeds []string, o CrawlOptions) (IngestStats, error) {
+	owner := o.Owner
+	if owner == nil {
+		owner = e.NewAccount("crawler", 1_000_000)
+	}
+	st, err := ingest.Crawl(ctx,
+		ingest.MapSource(o.Pages),
+		ingest.NewClusterSink(e.Cluster, owner.acct),
+		seeds,
+		ingest.Options{
+			Seed:             e.Cluster.Config().Seed,
+			FetchWorkers:     o.FetchWorkers,
+			QueueDepth:       o.QueueDepth,
+			BatchSize:        o.BatchSize,
+			MaxPages:         o.MaxPages,
+			Serial:           o.Serial,
+			DedupThreshold:   o.DedupThreshold,
+			FetchFailRate:    o.FetchFailRate,
+			MeanFetchLatency: o.MeanFetchLatency,
+		})
+	e.ingestMu.Lock()
+	e.ingest.Merge(st)
+	e.ingestMu.Unlock()
+	return st, err
+}
+
+// IngestStats returns the accumulated counters of every Crawl driven on
+// this engine (zero value if none ran). Safe to call concurrently with
+// queries; queenbeed serves it under GET /stats.
+func (e *Engine) IngestStats() IngestStats {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	return e.ingest
+}

@@ -1,6 +1,7 @@
 package queenbee
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"testing"
@@ -136,6 +137,122 @@ func TestWriteDeterminismSameSeedTwice(t *testing.T) {
 	}
 	if a, b := build(), build(); a != b {
 		t.Fatalf("same-seed runs diverged:\nfirst  %s\nsecond %s", a, b)
+	}
+}
+
+// TestIngestPipelineDeterminism is the streaming-ingest determinism
+// contract (ISSUE 7 acceptance): a pipelined crawl — real fetch worker
+// goroutines, bounded queue at depth 4, 8 bees — must leave the DHT
+// byte-identical to a plain sequential PublishBatch loop over the same
+// pages under the same seed, and to the same crawl with serial (non-
+// overlapping) rounds. Pipelining must only show up in the simulated
+// makespan. Runs under -race and in the -count=2 determinism re-run.
+func TestIngestPipelineDeterminism(t *testing.T) {
+	const seed = 7
+	const batchSize = 16
+	ccfg := corpus.DefaultConfig()
+	ccfg.Seed = seed
+	ccfg.NumDocs = 48
+	corp := corpus.Generate(ccfg)
+	pages := make([]Page, len(corp.Docs))
+	seeds := make([]string, len(corp.Docs))
+	for i, d := range corp.Docs {
+		pages[i] = Page{URL: d.URL, Text: d.Text, Links: d.Links}
+		seeds[i] = d.URL
+	}
+	boot := func() (*Engine, *Account) {
+		e := New(WithSeed(seed), WithPeers(12), WithBees(8))
+		return e, e.NewAccount("crawler", 10_000_000)
+	}
+	// Seeding every URL makes the reference loop trivial to construct:
+	// frontier order is URL order, so batches are consecutive slices.
+	// Dedup is off so batch membership is position-independent; the
+	// demotion path has its own determinism coverage in internal/ingest.
+	opts := CrawlOptions{
+		Pages: pages, QueueDepth: 4, BatchSize: batchSize,
+		FetchWorkers: 4, DedupThreshold: -1,
+	}
+
+	crawled, owner := boot()
+	opts.Owner = owner
+	st, err := crawled.Crawl(context.Background(), seeds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Published != len(pages) || st.Batches != 3 || st.RoundErrors != 0 {
+		t.Fatalf("crawl stats %+v", st)
+	}
+	if st.Makespan >= st.SerialMakespan {
+		t.Fatalf("pipelined rounds gained nothing: makespan %v vs serial %v",
+			st.Makespan, st.SerialMakespan)
+	}
+
+	serialed, serialOwner := boot()
+	sopts := opts
+	sopts.Owner = serialOwner
+	sopts.Serial = true
+	if _, err := serialed.Crawl(context.Background(), seeds, sopts); err != nil {
+		t.Fatal(err)
+	}
+
+	ref, refOwner := boot()
+	for i := 0; i < len(pages); i += batchSize {
+		end := i + batchSize
+		if end > len(pages) {
+			end = len(pages)
+		}
+		if _, err := ref.PublishBatch(refOwner, pages[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want := dhtWriteState(t, ref)
+	if got := dhtWriteState(t, crawled); got != want {
+		t.Fatalf("pipelined crawl DHT state diverged from sequential PublishBatch loop:\ncrawl %s\nloop  %s", got, want)
+	}
+	if got := dhtWriteState(t, serialed); got != want {
+		t.Fatalf("serial-rounds crawl DHT state diverged from sequential PublishBatch loop:\ncrawl %s\nloop  %s", got, want)
+	}
+	if agg := crawled.IngestStats(); agg != st {
+		t.Fatalf("engine accumulator %+v != crawl stats %+v", agg, st)
+	}
+}
+
+// TestIngestStatsRerunIdentical pins the COST side of the crawl's
+// determinism contract: two fresh engines, same seed, full Stats
+// structs equal — including the simulated wave costs (CommitBusy,
+// RevealBusy, Makespan). This is what state-only comparisons miss:
+// concurrent bees in a parallel commit wave used to announce their
+// serve-cache provider records mid-wave, so a sibling's FindProviders
+// cost depended on goroutine interleaving (the records are now queued
+// and flushed in bee order after the wave). The crawl's fetch workers
+// keep the scheduler busy enough to hit that window reliably.
+func TestIngestStatsRerunIdentical(t *testing.T) {
+	run := func() IngestStats {
+		e := New(WithSeed(11), WithPeers(12), WithBees(4))
+		ccfg := corpus.DefaultConfig()
+		ccfg.Seed = 11
+		ccfg.NumDocs = 24
+		corp := corpus.Generate(ccfg)
+		pages := make([]Page, len(corp.Docs))
+		seeds := make([]string, len(corp.Docs))
+		for i, d := range corp.Docs {
+			pages[i] = Page{URL: d.URL, Text: d.Text, Links: d.Links}
+			seeds[i] = d.URL
+		}
+		st, err := e.Crawl(context.Background(), seeds, CrawlOptions{
+			Pages: pages, QueueDepth: 4, BatchSize: 8, FetchWorkers: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	base := run()
+	for trial := 0; trial < 2; trial++ {
+		if st := run(); st != base {
+			t.Fatalf("crawl stats diverged on rerun %d:\n  base %+v\n  got  %+v", trial, base, st)
+		}
 	}
 }
 

@@ -104,6 +104,36 @@ func (c *Cluster) PublishBatch(owner *chain.Account, peer *store.Peer, pages []B
 	return BatchReceipt{Pages: len(pages), Tx: tx, StoreCost: storeCost}, nil
 }
 
+// IndexBatch is the full write cycle behind both the facade's
+// PublishBatch and the streaming ingest pipeline: store + register the
+// batch (PublishBatch against a cluster-chosen peer), seal the block,
+// check the registration receipt, and drive one protocol round. The
+// returned RoundReceipt carries the batch's store cost.
+//
+// Every sink MUST go through this one method: it fixes the exact
+// cluster call/RNG sequence per batch (RandomPeer draw, Seal count,
+// round schedule), which is what makes a pipelined crawl byte-identical
+// to a sequential PublishBatch loop over the same batches. Validation
+// failures — pre-flight or the contract's atomic on-chain check — wrap
+// ErrBatchInvalid.
+func (c *Cluster) IndexBatch(owner *chain.Account, pages []BatchPage) (RoundReceipt, error) {
+	br, err := c.PublishBatch(owner, c.RandomPeer(), pages)
+	if err != nil {
+		return RoundReceipt{}, err
+	}
+	c.Seal()
+	if r := c.Chain.Receipt(br.Tx.Hash()); r == nil || !r.OK {
+		msg := "no receipt"
+		if r != nil {
+			msg = r.Err
+		}
+		return RoundReceipt{}, fmt.Errorf("%w: %s", ErrBatchInvalid, msg)
+	}
+	rr := c.ProcessRoundReceipt()
+	rr.StoreCost = br.StoreCost
+	return rr, nil
+}
+
 // cidFromHex parses a hex CID recorded on chain.
 func cidFromHex(s string) (store.CID, error) {
 	var cid store.CID

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/contracts"
+	"repro/internal/dht"
 	"repro/internal/netsim"
 )
 
@@ -146,6 +147,38 @@ func runWave(n int, parallel bool, fn func(i int)) {
 	wg.Wait()
 }
 
+// forEachNode visits every DHT node in the deployment — DWeb peers
+// first, then bee peers — in a fixed order.
+func (c *Cluster) forEachNode(fn func(*dht.Node)) {
+	for _, p := range c.Peers {
+		fn(p.DHT())
+	}
+	for _, b := range c.Bees {
+		fn(b.Peer.DHT())
+	}
+}
+
+// runDHTWave is runWave for legs that issue DHT traffic. Around a
+// parallel wave it freezes inbound-contact learning on every node in
+// the deployment: handlers answering one leg's lookups must not mutate
+// the routing tables a sibling leg's lookups traverse, or the sibling's
+// path — and its cost — would depend on goroutine interleaving. Queued
+// contacts are applied after the wave, node by node in deployment
+// order, so the tables still converge and do so identically every run.
+func (c *Cluster) runDHTWave(n int, fn func(i int)) {
+	parallel := c.parallelRounds()
+	if parallel && n > 1 {
+		c.forEachNode(func(d *dht.Node) { d.SetDeferLearning(true) })
+	}
+	runWave(n, parallel, fn)
+	if parallel && n > 1 {
+		c.forEachNode(func(d *dht.Node) {
+			d.SetDeferLearning(false)
+			d.FlushLearning()
+		})
+	}
+}
+
 // commitWave fans the bees' commit compute out as one goroutine wave,
 // then submits the resulting commitments sequentially in bee order.
 func (c *Cluster) commitWave(r *RoundReceipt) {
@@ -153,9 +186,28 @@ func (c *Cluster) commitWave(r *RoundReceipt) {
 	commits := make([][]contracts.CommitParams, n)
 	costs := make([]netsim.Cost, n)
 	errs := make([][]RoundError, n)
-	runWave(n, c.parallelRounds(), func(i int) {
+	parallel := c.parallelRounds()
+	if parallel {
+		// Concurrent bees all fetch the same batch pages; an inline
+		// serve-cache Provide would mutate shared provider records
+		// mid-wave, making a sibling's FindProviders result — and its
+		// cost — depend on goroutine interleaving. Queue the
+		// announcements and apply them in bee order after the wave, so
+		// every bee fetches against the provider state the wave started
+		// with and costs are a pure function of the seed.
+		for _, b := range c.Bees {
+			b.Peer.SetDeferProvides(true)
+		}
+	}
+	c.runDHTWave(n, func(i int) {
 		commits[i], costs[i], errs[i] = c.Bees[i].prepareCommits()
 	})
+	if parallel {
+		for i, b := range c.Bees {
+			b.Peer.SetDeferProvides(false)
+			costs[i] = costs[i].Seq(b.Peer.FlushProvides())
+		}
+	}
 	for i, b := range c.Bees {
 		b.Cost = b.Cost.Seq(costs[i])
 		b.Errs = append(b.Errs, errs[i]...)
@@ -181,7 +233,7 @@ func (c *Cluster) materializePass(r *RoundReceipt) {
 	counts := make([]int, n)
 	costs := make([]netsim.Cost, n)
 	errs := make([][]RoundError, n)
-	runWave(n, c.parallelRounds(), func(i int) {
+	c.runDHTWave(n, func(i int) {
 		contribsBy[i], counts[i], costs[i], errs[i] = c.Bees[i].collectWins()
 	})
 
@@ -222,21 +274,38 @@ func (c *Cluster) materializePass(r *RoundReceipt) {
 	shardWrote := make([]bool, len(shardOrder))
 	shardCompacted := make([]bool, len(shardOrder))
 	shardErrs := make([][]RoundError, len(shardOrder))
-	runWave(len(shardOrder), c.parallelRounds(), func(j int) {
-		s := shardOrder[j]
+	// Fan out by WRITER, not by shard: two concurrent legs on the same
+	// writer's node would interleave draws on its shared (caller,target)
+	// netsim streams, so which leg pays which draw — and the wave's Par
+	// latency — would depend on goroutine scheduling. Writers run in
+	// parallel (disjoint caller links); each walks its own shards in
+	// ascending order, pinning every link's draw sequence.
+	var writers []*WorkerBee
+	legsByWriter := make(map[*WorkerBee][]int)
+	for j, s := range shardOrder {
 		w := writerByShard[s]
-		ptr, cost, wrote, err := appendSegmentsToShard(w.Peer.DHT(), s, digestsByShard[s])
-		shardCosts[j] = cost
-		shardWrote[j] = wrote
-		if err != nil {
-			shardErrs[j] = append(shardErrs[j], RoundError{Bee: w.Name, Shard: s, Stage: "shard-append", Err: err})
-			return
+		if _, seen := legsByWriter[w]; !seen {
+			writers = append(writers, w)
 		}
-		cost, compacted, err := compactShardFromPtr(w.Peer.DHT(), s, ptr)
-		shardCosts[j] = shardCosts[j].Seq(cost)
-		shardCompacted[j] = compacted
-		if err != nil {
-			shardErrs[j] = append(shardErrs[j], RoundError{Bee: w.Name, Shard: s, Stage: "compact", Err: err})
+		legsByWriter[w] = append(legsByWriter[w], j)
+	}
+	c.runDHTWave(len(writers), func(wi int) {
+		w := writers[wi]
+		for _, j := range legsByWriter[w] {
+			s := shardOrder[j]
+			ptr, cost, wrote, err := appendSegmentsToShard(w.Peer.DHT(), s, digestsByShard[s])
+			shardCosts[j] = cost
+			shardWrote[j] = wrote
+			if err != nil {
+				shardErrs[j] = append(shardErrs[j], RoundError{Bee: w.Name, Shard: s, Stage: "shard-append", Err: err})
+				continue
+			}
+			cost, compacted, err := compactShardFromPtr(w.Peer.DHT(), s, ptr)
+			shardCosts[j] = shardCosts[j].Seq(cost)
+			shardCompacted[j] = compacted
+			if err != nil {
+				shardErrs[j] = append(shardErrs[j], RoundError{Bee: w.Name, Shard: s, Stage: "compact", Err: err})
+			}
 		}
 	})
 	var shardWave, shardSerial netsim.Cost

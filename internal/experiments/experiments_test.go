@@ -1,20 +1,25 @@
 package experiments
 
 import (
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
-		t.Fatalf("registered %d experiments, want 15", len(all))
+	if len(all) != 16 {
+		t.Fatalf("registered %d experiments, want 16", len(all))
 	}
-	// E1..E14 consecutively, then E16 (E15 is reserved).
+	// E1..E14 consecutively, then E16 and E17 (E15 is reserved).
 	for i, e := range all {
-		want := "E16"
-		if i < 14 {
+		var want string
+		switch {
+		case i < 14:
 			want = "E" + itoa(i+1)
+		default:
+			want = "E" + itoa(i+2)
 		}
 		if e.ID != want {
 			t.Fatalf("order: got %s at %d, want %s", e.ID, i, want)
@@ -83,6 +88,32 @@ func TestE5CrawlSlowerThanPublish(t *testing.T) {
 	}
 	if !strings.Contains(tb.Cell(0, 0), "QueenBee") {
 		t.Fatalf("row 0 = %q", tb.Cell(0, 0))
+	}
+}
+
+// TestE17PipelinedBeatsSerial encodes the ISSUE 7 acceptance shape: on
+// a ≥2000-page crawl, pipelined rounds beat serial rounds on simulated
+// makespan, and the speedup column reports > 1.
+func TestE17PipelinedBeatsSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavyweight")
+	}
+	e, _ := ByID("E17")
+	tb := e.Run(1)[0]
+	if tb.Rows() != 2 || tb.Cell(0, 0) != "serial" || tb.Cell(1, 0) != "pipelined" {
+		t.Fatalf("headline table shape: %s", tb)
+	}
+	serial, err1 := time.ParseDuration(tb.Cell(0, 3))
+	pipelined, err2 := time.ParseDuration(tb.Cell(1, 3))
+	if err1 != nil || err2 != nil {
+		t.Fatalf("bad makespan cells %q %q: %v %v", tb.Cell(0, 3), tb.Cell(1, 3), err1, err2)
+	}
+	if pipelined >= serial {
+		t.Fatalf("pipelined makespan %v not better than serial %v", pipelined, serial)
+	}
+	speedup, err := strconv.ParseFloat(tb.Cell(1, 7), 64)
+	if err != nil || speedup <= 1 {
+		t.Fatalf("speedup cell %q (%v), want > 1", tb.Cell(1, 7), err)
 	}
 }
 

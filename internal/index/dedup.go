@@ -1,6 +1,7 @@
 package index
 
 import (
+	"fmt"
 	"hash/fnv"
 	"math"
 )
@@ -93,4 +94,106 @@ func (a MinHashSig) Similarity(b MinHashSig) float64 {
 // defaults.
 func SignatureOf(text string) MinHashSig {
 	return MinHash(Shingles(text, DefaultShingleSize), DefaultSignatureSize)
+}
+
+// DefaultBands is the band count SigIndex uses over a default-size
+// signature: 16 bands of 4 rows. At the 0.85 scraper threshold the
+// probability that a true near-duplicate shares no band is ~7e-6, so
+// banding is a safe accelerator, not an approximation of the decision
+// (candidates are always re-checked with the exact signature).
+const DefaultBands = 16
+
+// SigIndex is a banded locality-sensitive index over MinHash signatures:
+// the streaming ingest pipeline adds every accepted page's signature and
+// probes each new page against it, so near-duplicate detection over an
+// N-page crawl costs O(N·candidates) instead of the O(N²) full scan the
+// rank-time defense (zeroDuplicates) pays. Deterministic: candidates are
+// compared in insertion order and ties keep the earliest key.
+//
+// Not safe for concurrent use; the ingest sequencer owns one.
+type SigIndex struct {
+	bands   int
+	rows    int
+	buckets []map[uint64][]int // per band: band-hash → ids
+	sigs    []MinHashSig
+	keys    []string
+}
+
+// NewSigIndex creates an index that slices signatures into the given
+// number of bands (non-positive selects DefaultBands). Signatures added
+// and probed must share one length, divisible by the band count.
+func NewSigIndex(bands int) *SigIndex {
+	if bands <= 0 {
+		bands = DefaultBands
+	}
+	x := &SigIndex{bands: bands, buckets: make([]map[uint64][]int, bands)}
+	for i := range x.buckets {
+		x.buckets[i] = make(map[uint64][]int)
+	}
+	return x
+}
+
+// Len returns the number of indexed signatures.
+func (x *SigIndex) Len() int { return len(x.sigs) }
+
+// bandHash collapses one band of a signature to a bucket key.
+func (x *SigIndex) bandHash(sig MinHashSig, band int) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, v := range sig[band*x.rows : (band+1)*x.rows] {
+		h = mix64(h ^ v)
+	}
+	return h
+}
+
+// Add indexes a signature under the given key and returns its id.
+// The first Add fixes the signature length.
+func (x *SigIndex) Add(key string, sig MinHashSig) int {
+	x.checkLen(sig)
+	id := len(x.sigs)
+	x.sigs = append(x.sigs, sig)
+	x.keys = append(x.keys, key)
+	for b := 0; b < x.bands; b++ {
+		h := x.bandHash(sig, b)
+		x.buckets[b][h] = append(x.buckets[b][h], id)
+	}
+	return id
+}
+
+// Nearest returns the indexed key most similar to sig among candidates
+// sharing at least one band, with the exact signature similarity. An
+// empty index (or no candidate) returns ("", 0). Deterministic: on
+// similarity ties the earliest-added key wins.
+func (x *SigIndex) Nearest(sig MinHashSig) (string, float64) {
+	if len(x.sigs) == 0 {
+		return "", 0
+	}
+	x.checkLen(sig)
+	seen := make(map[int]bool)
+	best, bestSim := -1, -1.0
+	for b := 0; b < x.bands; b++ {
+		for _, id := range x.buckets[b][x.bandHash(sig, b)] {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			if s := sig.Similarity(x.sigs[id]); s > bestSim {
+				best, bestSim = id, s
+			}
+		}
+	}
+	if best < 0 {
+		return "", 0
+	}
+	return x.keys[best], bestSim
+}
+
+func (x *SigIndex) checkLen(sig MinHashSig) {
+	if len(sig) == 0 || len(sig)%x.bands != 0 {
+		panic(fmt.Sprintf("index: signature length %d not divisible into %d bands", len(sig), x.bands))
+	}
+	if x.rows == 0 {
+		x.rows = len(sig) / x.bands
+	} else if len(sig) != x.rows*x.bands {
+		panic(fmt.Sprintf("index: signature length %d, index built for %d", len(sig), x.rows*x.bands))
+	}
 }

@@ -1,0 +1,91 @@
+package index
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// mirrorOf simulates the paper's scraper attack: the mirror copies the
+// original text and splices a few of its own words in, hoping to farm
+// honey off someone else's content.
+func mirrorOf(text string) string {
+	words := strings.Fields(text)
+	for i := 7; i < len(words); i += 25 {
+		words[i] = "sponsored"
+	}
+	return strings.Join(words, " ") + " visit mirror site now"
+}
+
+func corpusText(seed, words int) string {
+	var b strings.Builder
+	for i := 0; i < words; i++ {
+		fmt.Fprintf(&b, "worda%d wordb%d ", (seed+i*7)%53, (seed+i*13)%31)
+	}
+	return b.String()
+}
+
+func TestSignatureSimilarity(t *testing.T) {
+	orig := corpusText(1, 120)
+	same := SignatureOf(orig)
+	if sim := same.Similarity(SignatureOf(orig)); sim != 1 {
+		t.Fatalf("identical text similarity = %v, want 1", sim)
+	}
+	mirror := SignatureOf(mirrorOf(orig))
+	if sim := same.Similarity(mirror); sim < 0.5 {
+		t.Fatalf("mirror similarity = %v, want high", sim)
+	}
+	other := SignatureOf(corpusText(999, 120))
+	if sim := same.Similarity(other); sim > 0.2 {
+		t.Fatalf("unrelated similarity = %v, want low", sim)
+	}
+}
+
+func TestSigIndexFindsMirror(t *testing.T) {
+	x := NewSigIndex(0)
+	for i := 0; i < 50; i++ {
+		x.Add(fmt.Sprintf("doc-%02d", i), SignatureOf(corpusText(i*101, 100)))
+	}
+	if x.Len() != 50 {
+		t.Fatalf("Len = %d", x.Len())
+	}
+	// The mirror of doc-17 must come back as the nearest neighbour,
+	// well above the unrelated background.
+	key, sim := x.Nearest(SignatureOf(mirrorOf(corpusText(17*101, 100))))
+	if key != "doc-17" {
+		t.Fatalf("nearest = %q (sim %v), want doc-17", key, sim)
+	}
+	if sim < 0.5 {
+		t.Fatalf("mirror similarity = %v, want high", sim)
+	}
+	// An exact copy scores 1.0.
+	if key, sim := x.Nearest(SignatureOf(corpusText(17*101, 100))); key != "doc-17" || sim != 1 {
+		t.Fatalf("exact copy: %q %v", key, sim)
+	}
+}
+
+func TestSigIndexEmptyAndDeterministic(t *testing.T) {
+	x := NewSigIndex(16)
+	if key, sim := x.Nearest(SignatureOf("anything at all here")); key != "" || sim != 0 {
+		t.Fatalf("empty index returned %q %v", key, sim)
+	}
+	// Two identical documents added in order: ties keep the earliest.
+	sig := SignatureOf(corpusText(5, 80))
+	x.Add("first", sig)
+	x.Add("second", sig)
+	for i := 0; i < 3; i++ {
+		if key, sim := x.Nearest(sig); key != "first" || sim != 1 {
+			t.Fatalf("tie broke to %q %v", key, sim)
+		}
+	}
+}
+
+func TestSigIndexRejectsBadBandSplit(t *testing.T) {
+	x := NewSigIndex(16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on indivisible signature length")
+		}
+	}()
+	x.Add("bad", make(MinHashSig, 10))
+}

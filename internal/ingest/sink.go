@@ -1,0 +1,32 @@
+package ingest
+
+import (
+	"repro/internal/chain"
+	"repro/internal/core"
+)
+
+// Sink indexes one batch of pages and reports the round it drove. The
+// pipeline calls it from exactly one goroutine, strictly in batch
+// order — a sink never needs to be concurrency-safe, and a cluster-
+// backed sink sees the identical call sequence a sequential
+// PublishBatch loop would issue (the byte-identical-state contract in
+// docs/ingest.md rests on this).
+type Sink interface {
+	IndexBatch(pages []core.BatchPage) (core.RoundReceipt, error)
+}
+
+// clusterSink drives real cluster rounds.
+type clusterSink struct {
+	c     *core.Cluster
+	owner *chain.Account
+}
+
+// NewClusterSink returns a Sink that publishes each batch through
+// Cluster.IndexBatch on behalf of owner.
+func NewClusterSink(c *core.Cluster, owner *chain.Account) Sink {
+	return clusterSink{c: c, owner: owner}
+}
+
+func (s clusterSink) IndexBatch(pages []core.BatchPage) (core.RoundReceipt, error) {
+	return s.c.IndexBatch(s.owner, pages)
+}

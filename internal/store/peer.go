@@ -76,6 +76,16 @@ type Peer struct {
 	// (the block store itself has no enumeration).
 	rootsMu sync.Mutex
 	roots   map[CID]bool
+
+	// deferProvides queues Fetch's serve-cache announcements instead of
+	// issuing them inline. The round engine sets it around parallel bee
+	// waves: an inline Provide mutates shared provider records mid-wave,
+	// so whether a concurrently-fetching sibling sees the new record —
+	// and what its FindProviders/Ping legs cost — would depend on real
+	// goroutine interleaving. Queued announcements are applied by
+	// FlushProvides after the wave, in a caller-fixed order.
+	deferProvides bool
+	pending       []CID
 }
 
 // NewPeer wraps an existing DHT node with content storage.
@@ -143,6 +153,54 @@ func (p *Peer) rememberRoot(root CID) {
 	p.rootsMu.Lock()
 	p.roots[root] = true
 	p.rootsMu.Unlock()
+}
+
+// SetDeferProvides switches the peer between inline and queued
+// serve-cache announcements (see the deferProvides field). Not safe to
+// flip while a Fetch is in flight on this peer.
+func (p *Peer) SetDeferProvides(on bool) {
+	p.rootsMu.Lock()
+	p.deferProvides = on
+	p.rootsMu.Unlock()
+}
+
+// queueProvide appends the root to the pending announcement queue and
+// reports true when deferral is active; false means the caller must
+// provide inline.
+func (p *Peer) queueProvide(root CID) bool {
+	p.rootsMu.Lock()
+	defer p.rootsMu.Unlock()
+	if !p.deferProvides {
+		return false
+	}
+	p.pending = append(p.pending, root)
+	return true
+}
+
+// FlushProvides issues every queued serve-cache announcement in fetch
+// order (duplicates collapsed) and returns the combined cost. The round
+// engine calls it per bee, in bee order, after a parallel wave — so the
+// provider-record writes and their netsim draws happen at a fixed point
+// regardless of how the wave's goroutines interleaved. The costs fold
+// in parallel: the announcements are independent of each other, exactly
+// as the inline provides were when each rode inside its own page fetch
+// and the fetches Par-folded across a batch.
+func (p *Peer) FlushProvides() netsim.Cost {
+	p.rootsMu.Lock()
+	queued := p.pending
+	p.pending = nil
+	p.rootsMu.Unlock()
+	var total netsim.Cost
+	seen := make(map[CID]bool, len(queued))
+	for _, root := range queued {
+		if seen[root] {
+			continue
+		}
+		seen[root] = true
+		_, cost, _ := p.dht.Provide(root.Key())
+		total = total.Par(cost)
+	}
+	return total
 }
 
 // Reprovide re-announces this peer as a provider for every root it has
@@ -236,8 +294,12 @@ func (p *Peer) Fetch(root CID) ([]byte, netsim.Cost, error) {
 		if err == nil {
 			if p.cfg.ServeCache {
 				p.rememberRoot(root)
-				_, cost, _ := p.dht.Provide(root.Key())
-				total = total.Seq(cost)
+				if p.queueProvide(root) {
+					// Deferred: billed by FlushProvides after the wave.
+				} else {
+					_, cost, _ := p.dht.Provide(root.Key())
+					total = total.Seq(cost)
+				}
 			}
 			return data, total, nil
 		}

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync"
 
 	"repro/internal/chain"
 	"repro/internal/contracts"
 	"repro/internal/core"
+	"repro/internal/ingest"
 	"repro/internal/netsim"
 )
 
@@ -38,6 +40,12 @@ type Engine struct {
 	// harnesses, fault injection). Most callers never need it.
 	Cluster *core.Cluster
 	pool    *core.FrontendPool
+
+	// Accumulated ingest counters across every Crawl on this engine.
+	// Guarded by its own mutex so IngestStats stays readable from
+	// serving surfaces (queenbeed GET /stats) while a crawl runs.
+	ingestMu sync.Mutex
+	ingest   ingest.Stats
 }
 
 // Account is a funded identity that can publish, advertise and click.
@@ -137,20 +145,11 @@ type RoundError = core.RoundError
 // duplicate URL in the batch), nothing is stored or registered and the
 // returned error matches ErrBatchRejected.
 func (e *Engine) PublishBatch(owner *Account, pages []Page) (RoundReceipt, error) {
-	br, err := e.Cluster.PublishBatch(owner.acct, e.Cluster.RandomPeer(), pages)
+	rr, err := e.Cluster.IndexBatch(owner.acct, pages)
 	if errors.Is(err, core.ErrBatchInvalid) {
 		return RoundReceipt{}, fmt.Errorf("%w: %w", ErrBatchRejected, err)
 	}
-	if err != nil {
-		return RoundReceipt{}, err
-	}
-	e.Cluster.Seal()
-	if r := e.Cluster.Chain.Receipt(br.Tx.Hash()); r == nil || !r.OK {
-		return RoundReceipt{}, fmt.Errorf("%w: %s", ErrBatchRejected, receiptErr(r))
-	}
-	rr := e.Cluster.ProcessRoundReceipt()
-	rr.StoreCost = br.StoreCost
-	return rr, nil
+	return rr, err
 }
 
 // Run drives n protocol rounds (bees commit, reveal, materialize).
