@@ -150,4 +150,15 @@
 // counts, simulated makespan, queue and stall waits, and the pipelining
 // speedup. cmd/queenbeed boots from a crawl with -crawl and surfaces the
 // counters under GET /stats.
+//
+// # Static enforcement
+//
+// The determinism and cost-accounting contract is enforced statically
+// as well as by the soaks: cmd/detlint (docs/static-analysis.md) is a
+// dependency-free analysis suite that flags order-sensitive map
+// iteration, wall-clock reads outside cmd/, math/rand use outside
+// internal/xrand, swallowed dht/store/chain errors, and dropped
+// netsim.Cost values. The tree stays clean — every sanctioned exception
+// carries a reasoned //detlint:ignore directive, and the per-analyzer
+// suppression counts print in every CI log.
 package queenbee

@@ -53,7 +53,8 @@ func main() {
 	fmt.Printf("~50%% of peers down:     %2d/%d pages searchable\n", searchable(fe), len(markers))
 
 	fmt.Println("running DHT refresh (survivors re-replicate records)…")
-	cluster.RefreshDHT()
+	refreshCost := cluster.RefreshDHT()
+	fmt.Printf("refresh traffic:        %d msgs, %d bytes\n", refreshCost.Msgs, refreshCost.Bytes)
 	fe = core.NewFrontend(cluster, cluster.Bees[0].Peer)
 	fmt.Printf("after refresh:          %2d/%d pages searchable\n", searchable(fe), len(markers))
 

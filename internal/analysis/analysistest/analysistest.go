@@ -1,0 +1,184 @@
+// Package analysistest runs detlint analyzers over fixture packages and
+// checks their diagnostics against // want comments, mirroring the
+// x/tools analysistest convention:
+//
+//	rand.Intn(3) // want `draws from process-global state`
+//
+// Each want comment holds one or more Go-quoted regular expressions. A
+// fixture line must produce exactly the diagnostics its want comment
+// declares — extra diagnostics, missing diagnostics and unmatched patterns
+// all fail the test. Fixture packages live in testdata/src/<path> and may
+// import the repository's real packages (the enclosing module is resolved
+// from go.mod), so analyzers are exercised against the true netsim/dht
+// types rather than mocks.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestData returns the conventional testdata root below the caller's
+// working directory.
+func TestData() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+// Run loads each fixture package from testdata/src/<pkg>, applies the
+// analyzer, and reports mismatches against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	roots := map[string]string{}
+	// The enclosing module resolves first so fixtures can import the
+	// real repro packages; fixture roots are registered after and win on
+	// collision.
+	if modDir, modPath, err := findModule(testdata); err == nil {
+		roots[modPath] = modDir
+	}
+	for _, pkg := range pkgs {
+		first := pkg
+		if i := strings.Index(pkg, "/"); i >= 0 {
+			first = pkg[:i]
+		}
+		roots[first] = filepath.Join(testdata, "src", first)
+	}
+	loader := analysis.NewLoader(roots)
+	for _, pkgPath := range pkgs {
+		pkg, err := loader.Load(pkgPath)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkgPath, err)
+		}
+		diags, err := analysis.RunAnalyzer(a, pkg)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+		}
+		checkWants(t, pkg, diags)
+	}
+}
+
+// findModule walks up from dir to the nearest go.mod and returns its
+// directory and module path.
+func findModule(dir string) (string, string, error) {
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// wantRE extracts the payload of a // want comment.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// checkWants matches diagnostics against want comments line by line.
+func checkWants(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	files := make(map[string][]string)
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("reading fixture %s: %v", name, err)
+		}
+		lines := strings.Split(string(data), "\n")
+		files[name] = lines
+		for i, line := range lines {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			pats, err := parseWantPatterns(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want comment: %v", name, i+1, err)
+			}
+			wants[key{name, i + 1}] = pats
+		}
+	}
+	matched := make(map[key]int) // how many wants at this line were consumed
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		pats := wants[k]
+		idx := -1
+		for i, re := range pats {
+			if re == nil {
+				continue // already consumed
+			}
+			if re.MatchString(d.Message) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			t.Errorf("%s:%d: unexpected diagnostic [%s]: %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+			continue
+		}
+		pats[idx] = nil
+		matched[k]++
+	}
+	for k, pats := range wants {
+		for _, re := range pats {
+			if re != nil {
+				t.Errorf("%s:%d: no diagnostic matched want %q", k.file, k.line, re.String())
+			}
+		}
+	}
+}
+
+// parseWantPatterns splits a want payload into its quoted regexps. Both
+// backquoted and double-quoted forms are accepted.
+func parseWantPatterns(s string) ([]*regexp.Regexp, error) {
+	var pats []*regexp.Regexp
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var raw string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in %q", s)
+			}
+			raw, s = s[1:1+end], s[2+end:]
+		case '"':
+			end := strings.IndexByte(s[1:], '"')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quote in %q", s)
+			}
+			raw, s = s[1:1+end], s[2+end:]
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted, got %q", s)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			return nil, err
+		}
+		pats = append(pats, re)
+		s = strings.TrimSpace(s)
+	}
+	return pats, nil
+}

@@ -1,0 +1,64 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestDetlintCleanTree is the meta-test behind the CI lint job: the live
+// repository, analyzed by the full detlint suite, must produce zero
+// unsuppressed diagnostics. Any new order-sensitive map range, wall-clock
+// read, math/rand draw, swallowed dht/store/chain error or dropped
+// netsim.Cost fails this test before it can flake a soak.
+func TestDetlintCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, modPath, err := analysis.NewModuleLoader(root)
+	if err != nil {
+		t.Fatalf("module loader: %v", err)
+	}
+	dirs, err := analysis.PackageDirs(root)
+	if err != nil {
+		t.Fatalf("walking module: %v", err)
+	}
+	var pkgs []*analysis.Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := loader.Load(importPath)
+		if err != nil {
+			t.Fatalf("loading %s: %v", importPath, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	runner := &analysis.Runner{Analyzers: analysis.All()}
+	res, err := runner.Run(pkgs)
+	if err != nil {
+		t.Fatalf("running detlint: %v", err)
+	}
+	for _, d := range res.Findings {
+		pos := pkgs[0].Fset.Position(d.Pos)
+		rel, _ := filepath.Rel(root, pos.Filename)
+		t.Errorf("%s:%d: [%s] %s", rel, pos.Line, d.Analyzer, d.Message)
+	}
+	// Suppressions are allowed but accounted: the summary keeps the
+	// count visible in every test log so it cannot silently grow.
+	if !strings.Contains(res.Summary(), "suppressed") {
+		t.Errorf("summary %q lost the suppression accounting", res.Summary())
+	}
+	t.Log(res.Summary())
+}

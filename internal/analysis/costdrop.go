@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"go/types"
+)
+
+// costTypePkg/costTypeName identify the cost-accounting currency: every
+// simulated RPC and wave fold returns a netsim.Cost, and the experiment
+// tables are only honest if every such cost lands in an accumulator or a
+// receipt.
+const (
+	costTypePkg  = "repro/internal/netsim"
+	costTypeName = "Cost"
+)
+
+// Costdrop flags netsim.Cost values that fall on the floor.
+//
+// Costs model the network work a real deployment would pay for; dropping
+// one silently under-reports an experiment (the paper's cost-vs-quality
+// tables are the headline result). The analyzer diagnoses a Cost-returning
+// call used as a bare statement and a Cost result assigned to the blank
+// identifier — regardless of which package the function lives in, since
+// wave folds in core and ingest return Cost too. Genuinely free calls
+// take //detlint:ignore costdrop with a reason.
+var Costdrop = &Analyzer{
+	Name: "costdrop",
+	Doc:  "netsim.Cost results must flow into an accumulator or receipt, never be discarded",
+	Run:  runCostdrop,
+}
+
+func isCostType(t types.Type) bool {
+	return namedTypeIs(t, costTypePkg, costTypeName)
+}
+
+func runCostdrop(pass *Pass) error {
+	dc := &dropCheck{
+		// The Cost type itself is the marker, not the callee's home
+		// package: wave folds in core/ingest return Cost too.
+		pkgOK:  func(string) bool { return true },
+		want:   isCostType,
+		kind:   "netsim.Cost",
+		remedy: "fold it into an accumulator or receipt",
+	}
+	for _, f := range pass.Files {
+		dc.check(pass, f)
+	}
+	return nil
+}

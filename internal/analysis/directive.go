@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectivePrefix introduces a suppression comment:
+//
+//	//detlint:ignore <analyzer> <reason...>
+//
+// The directive suppresses findings from the named analyzer on the same
+// line or on the line directly below it (the usual "comment above the
+// statement" placement). The reason is mandatory: a suppression with no
+// stated justification is itself reported as a finding, so the suppression
+// count in the summary can never silently absorb unexplained exceptions.
+const DirectivePrefix = "//detlint:ignore"
+
+// Directive is one parsed //detlint:ignore comment.
+type Directive struct {
+	Pos      token.Pos
+	File     string
+	Line     int
+	Analyzer string
+	Reason   string
+	// Malformed is set when the directive is missing the analyzer name
+	// or the reason string.
+	Malformed bool
+	// Used is set by the runner when the directive suppressed at least
+	// one finding.
+	Used bool
+}
+
+// collectDirectives extracts every //detlint:ignore directive from a file.
+func collectDirectives(fset *token.FileSet, f *ast.File) []*Directive {
+	var out []*Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, DirectivePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			d := &Directive{Pos: c.Pos(), File: pos.Filename, Line: pos.Line}
+			rest := strings.TrimPrefix(text, DirectivePrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //detlint:ignorance — not ours
+			}
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				// Missing analyzer name and/or reason.
+				if len(fields) == 1 {
+					d.Analyzer = fields[0]
+				}
+				d.Malformed = true
+			} else {
+				d.Analyzer = fields[0]
+				d.Reason = strings.Join(fields[1:], " ")
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// covers reports whether the directive suppresses a finding by the named
+// analyzer at the given position: same file, same line or the line below
+// the directive.
+func (d *Directive) covers(analyzer string, pos token.Position) bool {
+	if d.Malformed || d.Analyzer != analyzer {
+		return false
+	}
+	return d.File == pos.Filename && (d.Line == pos.Line || d.Line == pos.Line-1)
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDirectives drives the full Runner over the directives fixture:
+// same-line and line-above suppressions must absorb their findings, while
+// a reasonless directive, an unknown analyzer name and a stale (unused)
+// directive must each surface as findings of the "directive"
+// pseudo-analyzer.
+func TestDirectives(t *testing.T) {
+	loader := NewLoader(map[string]string{
+		"directives": filepath.Join("testdata", "src", "directives"),
+	})
+	pkg, err := loader.Load("directives")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	runner := &Runner{Analyzers: All()}
+	res, err := runner.Run([]*Package{pkg})
+	if err != nil {
+		t.Fatalf("running: %v", err)
+	}
+
+	if got, want := len(res.Suppressed), 2; got != want {
+		t.Errorf("suppressed = %d, want %d: %+v", got, want, res.Suppressed)
+	}
+	if got := res.SuppressedByAnalyzer["wallclock"]; got != 2 {
+		t.Errorf("suppressed wallclock = %d, want 2", got)
+	}
+	for _, d := range res.Suppressed {
+		if !strings.Contains(d.SuppressReason, "fixture:") {
+			t.Errorf("suppression lost its reason: %+v", d)
+		}
+	}
+
+	var wallclock, directive int
+	for _, d := range res.Findings {
+		switch d.Analyzer {
+		case "wallclock":
+			wallclock++
+		case "directive":
+			directive++
+		default:
+			t.Errorf("unexpected finding: %+v", d)
+		}
+	}
+	if wallclock != 1 {
+		t.Errorf("unsuppressed wallclock findings = %d, want 1 (only the undirected time.Now)", wallclock)
+	}
+	// Missing reason, unknown analyzer, stale directive.
+	if directive != 3 {
+		t.Errorf("directive findings = %d, want 3: %+v", directive, res.Findings)
+	}
+
+	sum := res.Summary()
+	for _, want := range []string{"1 packages", "4 findings", "2 suppressed", "wallclock=2"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary %q missing %q", sum, want)
+		}
+	}
+}

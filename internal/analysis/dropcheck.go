@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// dropCheck is the shared machinery behind errsink and costdrop: find call
+// results of a marker type (error, netsim.Cost) that are discarded, either
+// by using the call as a bare statement or by assigning the result to the
+// blank identifier.
+type dropCheck struct {
+	// pkgOK filters by the callee's defining package.
+	pkgOK func(path string) bool
+	// want matches the marker result type.
+	want func(t types.Type) bool
+	// kind names the marker type in diagnostics ("error", "netsim.Cost").
+	kind string
+	// remedy completes the diagnostic ("handle it or record it on a
+	// receipt").
+	remedy string
+}
+
+// check walks one file and reports drops.
+func (dc *dropCheck) check(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				dc.checkBareCall(pass, call)
+			}
+		case *ast.AssignStmt:
+			dc.checkAssign(pass, n)
+		case *ast.GoStmt, *ast.DeferStmt:
+			// go f() / defer f() discard results by design; the
+			// deferred call's own body is still visited elsewhere.
+		}
+		return true
+	})
+}
+
+// checkBareCall flags a statement-position call whose results include the
+// marker type.
+func (dc *dropCheck) checkBareCall(pass *Pass, call *ast.CallExpr) {
+	obj := calleeObject(pass.Info, call)
+	if obj == nil || !dc.pkgOK(objectPkgPath(obj)) {
+		return
+	}
+	if pos, ok := resultIndex(pass.Info, call, dc.want); ok {
+		pass.Reportf(call.Pos(), "%s returned by %s is discarded; %s",
+			describeResult(pass.Info, call, pos, dc.kind), calleeName(pass.Info, call), dc.remedy)
+	}
+}
+
+// checkAssign flags marker results landing in the blank identifier, in both
+// assignment shapes: `v, _ := f()` (one call, tuple spread) and
+// `_ = f()` / `a, _ = g(), h()` (positional).
+func (dc *dropCheck) checkAssign(pass *Pass, assign *ast.AssignStmt) {
+	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		obj := calleeObject(pass.Info, call)
+		if obj == nil || !dc.pkgOK(objectPkgPath(obj)) {
+			return
+		}
+		tv, found := pass.Info.Types[call]
+		if !found {
+			return
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(assign.Lhs) {
+			return
+		}
+		for i := 0; i < tuple.Len(); i++ {
+			if dc.want(tuple.At(i).Type()) && isBlank(assign.Lhs[i]) {
+				pass.Reportf(assign.Lhs[i].Pos(), "%s from %s assigned to _; %s",
+					describeResult(pass.Info, call, i, dc.kind), calleeName(pass.Info, call), dc.remedy)
+			}
+		}
+		return
+	}
+	if len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	for i := range assign.Lhs {
+		if !isBlank(assign.Lhs[i]) {
+			continue
+		}
+		call, ok := ast.Unparen(assign.Rhs[i]).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		obj := calleeObject(pass.Info, call)
+		if obj == nil || !dc.pkgOK(objectPkgPath(obj)) {
+			continue
+		}
+		if tv, found := pass.Info.Types[call]; found && dc.want(tv.Type) {
+			pass.Reportf(assign.Lhs[i].Pos(), "%s from %s assigned to _; %s",
+				dc.kind, calleeName(pass.Info, call), dc.remedy)
+		}
+	}
+}
+
+// isBlank reports whether expr is the blank identifier.
+func isBlank(expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	return ok && id.Name == "_"
+}

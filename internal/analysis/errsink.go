@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ErrsinkGuardedPkgs lists the import-path prefixes whose returned errors
+// must never be silently discarded: the DHT, the block store and the chain
+// are the system's replicated state, and a swallowed write error there
+// means divergent replicas that no soak can trace back to its source (PR 4
+// fixed exactly this class of bug at runtime).
+var ErrsinkGuardedPkgs = []string{
+	"repro/internal/dht",
+	"repro/internal/store",
+	"repro/internal/chain",
+}
+
+// Errsink flags discarded errors from DHT/store/chain operations.
+//
+// Two forms are diagnosed: a call used as a bare statement whose result
+// tuple includes an error, and an assignment that lands the error in the
+// blank identifier. Handling means anything else — returning it, branching
+// on it, or recording it on a receipt's Errs field. Truly ignorable errors
+// take a //detlint:ignore errsink directive with the reason spelled out.
+var Errsink = &Analyzer{
+	Name: "errsink",
+	Doc:  "errors from dht/store/chain ops must be handled or recorded on a receipt, never dropped",
+	Run:  runErrsink,
+}
+
+func runErrsink(pass *Pass) error {
+	dc := &dropCheck{
+		pkgOK:  func(path string) bool { return matchesAny(path, ErrsinkGuardedPkgs) },
+		want:   isErrorType,
+		kind:   "error",
+		remedy: "handle it or record it on a receipt",
+	}
+	for _, f := range pass.Files {
+		dc.check(pass, f)
+	}
+	return nil
+}
+
+// resultIndex finds the first result position of call whose type matches
+// want.
+func resultIndex(info *types.Info, call *ast.CallExpr, want func(types.Type) bool) (pos int, ok bool) {
+	tv, found := info.Types[call]
+	if !found {
+		return 0, false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if want(t.At(i).Type()) {
+				return i, true
+			}
+		}
+	default:
+		if want(t) {
+			return 0, true
+		}
+	}
+	return 0, false
+}
+
+// calleeName renders the called function for a diagnostic.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	obj := calleeObject(info, call)
+	if obj == nil {
+		return "call"
+	}
+	if recv := receiverTypeName(obj); recv != "" {
+		return recv + "." + obj.Name()
+	}
+	if obj.Pkg() != nil {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// receiverTypeName returns "pkg.Type" for methods, "" otherwise.
+func receiverTypeName(obj types.Object) string {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			return pkg.Name() + "." + named.Obj().Name()
+		}
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// describeResult names the dropped result for a diagnostic, e.g.
+// "error (result 3 of 4)".
+func describeResult(info *types.Info, call *ast.CallExpr, pos int, kind string) string {
+	tv, ok := info.Types[call]
+	if ok {
+		if tuple, ok := tv.Type.(*types.Tuple); ok && tuple.Len() > 1 {
+			return fmt.Sprintf("%s (result %d of %d)", kind, pos+1, tuple.Len())
+		}
+	}
+	return kind
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeObject resolves the object a call expression invokes: the function,
+// method or builtin named by the callee. It returns nil for indirect calls
+// through function values and for type conversions.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		return info.ObjectOf(fun.Sel)
+	}
+	return nil
+}
+
+// objectPkgPath returns the import path of the package that defines obj, or
+// "" for builtins and universe-scope objects.
+func objectPkgPath(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// hasPathPrefix reports whether path equals prefix or sits below it
+// (prefix "a/b" matches "a/b" and "a/b/c", never "a/bc").
+func hasPathPrefix(path, prefix string) bool {
+	return path == prefix || strings.HasPrefix(path, prefix+"/")
+}
+
+// matchesAny reports whether path matches any prefix in prefixes. A prefix
+// ending in "/" is treated as a pure prefix (e.g. "repro/cmd/" matches
+// every package under cmd); otherwise prefix matching is path-segment
+// aware.
+func matchesAny(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasSuffix(p, "/") {
+			if strings.HasPrefix(path, p) {
+				return true
+			}
+			continue
+		}
+		if hasPathPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgQualifiedCall reports whether call invokes a package-level function of
+// the package with the given import path (e.g. time.Now), returning the
+// function name.
+func pkgQualifiedCall(info *types.Info, call *ast.CallExpr) (pkgPath, name string) {
+	obj := calleeObject(info, call)
+	if obj == nil {
+		return "", ""
+	}
+	return objectPkgPath(obj), obj.Name()
+}
+
+// declaredWithin reports whether obj's declaration lies inside node.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj != nil && obj.Pos() >= node.Pos() && obj.Pos() <= node.End()
+}
+
+// isTypeName reports whether obj names a type.
+func isTypeName(obj types.Object) bool {
+	_, ok := obj.(*types.TypeName)
+	return ok
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// namedTypeIs reports whether t (or the type it points to) is the named
+// type pkgPath.name.
+func namedTypeIs(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && objectPkgPath(obj) == pkgPath
+}
+
+// walkWithParents traverses root like ast.Inspect while maintaining the
+// ancestor chain; fn receives each node and its parents (innermost last).
+func walkWithParents(root ast.Node, fn func(n ast.Node, parents []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			// Children are skipped, so no matching nil pop arrives;
+			// don't push.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

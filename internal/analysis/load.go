@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path ("repro/internal/core")
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages without the go command: module
+// packages resolve from Roots (import-path prefix → directory), everything
+// else falls back to the standard library's source importer, so loading
+// works offline with nothing but GOROOT sources.
+//
+// Test files (*_test.go) are deliberately excluded: detlint guards
+// production code, and the determinism soaks themselves exercise test
+// behavior at runtime.
+type Loader struct {
+	Fset *token.FileSet
+
+	// Roots maps import-path prefixes to directories. The longest
+	// matching prefix wins; the remainder of the path is joined onto the
+	// directory. A typical configuration is {"repro": "/path/to/repo"}.
+	Roots map[string]string
+
+	pkgs map[string]*Package
+	std  types.ImporterFrom
+}
+
+// NewLoader returns a Loader resolving the given import-path roots.
+func NewLoader(roots map[string]string) *Loader {
+	fset := token.NewFileSet()
+	l := &Loader{Fset: fset, Roots: roots, pkgs: make(map[string]*Package)}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l
+}
+
+// NewModuleLoader reads go.mod in dir and returns a Loader that resolves
+// the module's own import path to dir.
+func NewModuleLoader(dir string) (*Loader, string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	modPath, err := modulePath(abs)
+	if err != nil {
+		return nil, "", err
+	}
+	return NewLoader(map[string]string{modPath: abs}), modPath, nil
+}
+
+// modulePath extracts the module path from dir/go.mod, walking up parent
+// directories until one is found.
+func modulePath(dir string) (string, error) {
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return strings.TrimSpace(rest), nil
+				}
+			}
+			return "", fmt.Errorf("analysis: no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// resolve maps an import path to a directory via Roots; ok is false when no
+// root prefix matches (the path belongs to the standard library or an
+// external module).
+func (l *Loader) resolve(path string) (dir string, ok bool) {
+	prefixes := make([]string, 0, len(l.Roots))
+	for prefix := range l.Roots {
+		prefixes = append(prefixes, prefix)
+	}
+	sort.Strings(prefixes)
+	best := ""
+	for _, prefix := range prefixes {
+		if (path == prefix || strings.HasPrefix(path, prefix+"/")) && len(prefix) > len(best) {
+			best = prefix
+		}
+	}
+	if best == "" {
+		return "", false
+	}
+	rest := strings.TrimPrefix(strings.TrimPrefix(path, best), "/")
+	return filepath.Join(l.Roots[best], filepath.FromSlash(rest)), true
+}
+
+// Load parses and type-checks the package at the given import path,
+// memoizing by path so shared dependencies are checked once.
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %q", path)
+		}
+		return pkg, nil
+	}
+	dir, ok := l.resolve(path)
+	if !ok {
+		return nil, fmt.Errorf("analysis: import path %q matches no configured root", path)
+	}
+	l.pkgs[path] = nil // cycle guard
+	pkg, err := l.loadDir(path, dir)
+	if err != nil {
+		delete(l.pkgs, path)
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// loadDir parses every non-test .go file in dir and type-checks the result.
+func (l *Loader) loadDir(path, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading %s: %w", dir, err)
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go source files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// loaderImporter adapts the Loader to types.Importer: module packages load
+// through the Loader itself, everything else through the source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if _, ok := l.resolve(path); ok {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// PackageDirs walks root and returns the directories containing at least
+// one non-test .go file, skipping testdata, hidden directories, and any
+// directory whose name is in skip.
+func PackageDirs(root string, skip ...string) ([]string, error) {
+	skipSet := make(map[string]bool, len(skip))
+	for _, s := range skip {
+		skipSet[s] = true
+	}
+	var dirs []string
+	seen := make(map[string]bool)
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || skipSet[name]) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(p, ".go") && !strings.HasSuffix(p, "_test.go") {
+			if dir := filepath.Dir(p); !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

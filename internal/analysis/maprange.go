@@ -1,0 +1,361 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MaprangeGuardedCallPkgs lists import-path prefixes whose functions and
+// methods are order-sensitive to invoke: they draw from RNG streams
+// (xrand, netsim), mutate replicated state (dht, store, chain) or fold
+// costs (netsim), so calling them in map-iteration order injects map
+// randomization straight into the simulation.
+var MaprangeGuardedCallPkgs = []string{
+	"repro/internal/netsim",
+	"repro/internal/dht",
+	"repro/internal/store",
+	"repro/internal/chain",
+	"repro/internal/xrand",
+}
+
+// Maprange flags `for … range m` over a map when the loop body does
+// order-sensitive work. Go randomizes map iteration order per run, so any
+// of the following inside the body makes output depend on that
+// randomization:
+//
+//   - appending to a slice declared outside the loop (element order leaks)
+//   - calling into netsim/dht/store/chain/xrand (RNG draws and replicated-
+//     state mutations happen in iteration order)
+//   - printing via fmt.Print*/Fprint* or writing to a strings.Builder or
+//     bytes.Buffer (output order leaks)
+//   - compound-assigning to an outer float or string (rounding/concat
+//     order leaks)
+//   - plainly assigning a value derived from the loop variables to an
+//     outer variable (last-writer-wins and argmax tie-breaks leak)
+//
+// The fix is the sorted-keys idiom: collect keys, sort, range the slice.
+// The analyzer recognizes that idiom: an append whose slice is sorted by a
+// later statement in an enclosing block is not a finding. Anything
+// genuinely commutative (integer sums, set inserts, per-key map writes) is
+// not flagged; rare exceptions take //detlint:ignore maprange with a
+// reason.
+var Maprange = &Analyzer{
+	Name: "maprange",
+	Doc:  "range over a map with an order-sensitive body must iterate sorted keys",
+	Run:  runMaprange,
+}
+
+func runMaprange(pass *Pass) error {
+	for _, f := range pass.Files {
+		walkWithParents(f, func(n ast.Node, parents []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !rangesOverMap(pass.Info, rs) {
+				return true
+			}
+			if why, pos := orderSensitiveOp(pass, rs, parents); why != "" {
+				pass.Reportf(pos, "map iteration order reaches %s; iterate sorted keys (or //detlint:ignore maprange <reason>)", why)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// rangesOverMap reports whether rs iterates a map — directly, or through
+// the maps.Keys/maps.Values/maps.All iterators, which preserve the
+// randomized order.
+func rangesOverMap(info *types.Info, rs *ast.RangeStmt) bool {
+	if t := info.TypeOf(rs.X); t != nil {
+		if _, ok := t.Underlying().(*types.Map); ok {
+			return true
+		}
+	}
+	call, ok := ast.Unparen(rs.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	pkg, name := pkgQualifiedCall(info, call)
+	return pkg == "maps" && (name == "Keys" || name == "Values" || name == "All")
+}
+
+// orderSensitiveOp scans the loop body for the first order-sensitive
+// operation and describes it; "" means the body looks commutative.
+func orderSensitiveOp(pass *Pass, rs *ast.RangeStmt, parents []ast.Node) (why string, pos token.Pos) {
+	loopVars := rangeVarObjects(pass.Info, rs)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if w, p := sensitiveAssign(pass, rs, n, loopVars, parents); w != "" {
+				why, pos = w, p
+			}
+		case *ast.CallExpr:
+			if w := sensitiveCall(pass, n); w != "" {
+				why, pos = w, n.Pos()
+			}
+		}
+		return why == ""
+	})
+	return why, pos
+}
+
+// rangeVarObjects collects the objects bound to the range key/value.
+func rangeVarObjects(info *types.Info, rs *ast.RangeStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool, 2)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.ObjectOf(id); obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	return vars
+}
+
+// sensitiveCall reports why a call is order-sensitive, or "".
+func sensitiveCall(pass *Pass, call *ast.CallExpr) string {
+	obj := calleeObject(pass.Info, call)
+	if obj == nil || isTypeName(obj) {
+		return ""
+	}
+	path := objectPkgPath(obj)
+	switch {
+	case matchesAny(path, MaprangeGuardedCallPkgs):
+		return fmt.Sprintf("a call to %s (RNG draws / replicated-state ops execute in map order)", calleeName(pass.Info, call))
+	case path == "fmt" && printsInOrder(obj.Name()):
+		return fmt.Sprintf("fmt.%s output (lines print in map order)", obj.Name())
+	case isOrderedWriterMethod(obj):
+		return fmt.Sprintf("%s (bytes accumulate in map order)", calleeName(pass.Info, call))
+	}
+	return ""
+}
+
+// printsInOrder matches the fmt functions with output side effects; the
+// pure Sprintf family is fine — its results only matter if they flow
+// somewhere the other rules already watch.
+func printsInOrder(name string) bool {
+	switch name {
+	case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+		return true
+	}
+	return false
+}
+
+// isOrderedWriterMethod reports whether obj is a method on strings.Builder
+// or bytes.Buffer (all their mutating methods accumulate in call order).
+func isOrderedWriterMethod(obj types.Object) bool {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return namedTypeIs(t, "strings", "Builder") || namedTypeIs(t, "bytes", "Buffer")
+}
+
+// sensitiveAssign reports why an assignment inside the loop is
+// order-sensitive, or "".
+func sensitiveAssign(pass *Pass, rs *ast.RangeStmt, assign *ast.AssignStmt, loopVars map[types.Object]bool, parents []ast.Node) (string, token.Pos) {
+	if assign.Tok == token.DEFINE {
+		return "", token.NoPos // := always creates loop-local state
+	}
+	for i, lhs := range assign.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := pass.Info.ObjectOf(id)
+		if obj == nil || declaredWithin(obj, rs) {
+			continue // loop-local state resets every iteration
+		}
+		rhs := matchingRhs(assign, i)
+
+		// xs = append(xs, …): element order leaks — unless a later
+		// statement sorts xs (the canonical collect-then-sort fix).
+		if assign.Tok == token.ASSIGN && rhs != nil && isAppendCall(pass.Info, rhs) {
+			if sortedLater(pass, obj, rs, parents) {
+				continue
+			}
+			return fmt.Sprintf("append to %q (element order = map order; sort %s afterwards or iterate sorted keys)", id.Name, id.Name), id.Pos()
+		}
+
+		// x += v on floats/strings: rounding and concatenation are not
+		// commutative. Integer accumulation is, so it stays quiet.
+		if assign.Tok != token.ASSIGN {
+			switch basicKindOf(obj.Type()) {
+			case floatKind:
+				return fmt.Sprintf("float accumulation into %q (rounding depends on order)", id.Name), id.Pos()
+			case stringKind:
+				return fmt.Sprintf("string concatenation into %q (byte order = map order)", id.Name), id.Pos()
+			}
+			continue
+		}
+
+		// x = <expr involving k or v>: last-writer-wins / argmax
+		// tie-breaking depends on iteration order — unless it is a
+		// commutative integer self-update written longhand.
+		if rhs != nil && referencesAny(pass.Info, rhs, loopVars) && !commutativeIntUpdate(pass.Info, obj, rhs) {
+			return fmt.Sprintf("assignment to %q from the loop variables (last writer depends on map order)", id.Name), id.Pos()
+		}
+	}
+	return "", token.NoPos
+}
+
+// matchingRhs returns the RHS expression feeding Lhs[i], or nil when the
+// assignment is the tuple form (x, y = f()) where positions don't map 1:1.
+func matchingRhs(assign *ast.AssignStmt, i int) ast.Expr {
+	if len(assign.Lhs) == len(assign.Rhs) {
+		return ast.Unparen(assign.Rhs[i])
+	}
+	if len(assign.Rhs) == 1 {
+		return ast.Unparen(assign.Rhs[0])
+	}
+	return nil
+}
+
+// isAppendCall reports whether expr is a call to the append builtin.
+func isAppendCall(info *types.Info, expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.ObjectOf(id)
+	b, ok := obj.(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// referencesAny reports whether expr mentions any of the given objects.
+func referencesAny(info *types.Info, expr ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objs[info.ObjectOf(id)] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// commutativeIntUpdate reports whether rhs is an integer expression that
+// mentions obj itself and combines only with commutative operators —
+// `x = x + v` written longhand, which is order-insensitive.
+func commutativeIntUpdate(info *types.Info, obj types.Object, rhs ast.Expr) bool {
+	if basicKindOf(obj.Type()) != intKind {
+		return false
+	}
+	selfRef := false
+	commutative := true
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if info.ObjectOf(n) == obj {
+				selfRef = true
+			}
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.ADD, token.MUL, token.AND, token.OR, token.XOR:
+			default:
+				commutative = false
+			}
+		}
+		return commutative
+	})
+	return selfRef && commutative
+}
+
+// basicKindOf classifies a type's underlying basic kind.
+type basicKind int
+
+const (
+	otherKind basicKind = iota
+	intKind
+	floatKind
+	stringKind
+)
+
+func basicKindOf(t types.Type) basicKind {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return otherKind
+	}
+	switch {
+	case b.Info()&types.IsInteger != 0:
+		return intKind
+	case b.Info()&(types.IsFloat|types.IsComplex) != 0:
+		return floatKind
+	case b.Info()&types.IsString != 0:
+		return stringKind
+	}
+	return otherKind
+}
+
+// sortedLater reports whether a statement after rs in one of its enclosing
+// blocks passes the slice bound to obj into a sort.* or slices.* call —
+// the collect-then-sort idiom that makes the collection loop safe.
+func sortedLater(pass *Pass, obj types.Object, rs *ast.RangeStmt, parents []ast.Node) bool {
+	// Find the statement within each enclosing statement list (block,
+	// switch case, select case) that contains rs, then scan the
+	// remaining statements of that list.
+	for pi := len(parents) - 1; pi >= 0; pi-- {
+		var list []ast.Stmt
+		switch p := parents[pi].(type) {
+		case *ast.BlockStmt:
+			list = p.List
+		case *ast.CaseClause:
+			list = p.Body
+		case *ast.CommClause:
+			list = p.Body
+		default:
+			continue
+		}
+		idx := -1
+		for i, stmt := range list {
+			if stmt.Pos() <= rs.Pos() && rs.End() <= stmt.End() {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		for _, stmt := range list[idx+1:] {
+			if sortsObject(pass.Info, stmt, obj) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sortsObject reports whether stmt contains a sort.*/slices.* call taking
+// the object as an argument.
+func sortsObject(info *types.Info, stmt ast.Stmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		pkg, _ := pkgQualifiedCall(info, call)
+		if pkg != "sort" && pkg != "slices" {
+			return !found
+		}
+		for _, arg := range call.Args {
+			if referencesAny(info, arg, map[types.Object]bool{obj: true}) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// RNGAllowedPkgs lists import-path prefixes allowed to touch math/rand.
+// Only the deterministic RNG package itself may reference it (today it does
+// not even do that — it implements xoshiro256** directly — but the
+// carve-out keeps the analyzer honest if a distribution is ever
+// cross-checked against the standard library).
+var RNGAllowedPkgs = []string{"repro/internal/xrand"}
+
+// rngPkgs are the import paths whose use the analyzer polices.
+var rngPkgs = map[string]bool{"math/rand": true, "math/rand/v2": true}
+
+// rngConstructors are the math/rand entry points that mint new generators.
+var rngConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+// RNGDiscipline flags math/rand usage outside the sanctioned RNG packages.
+//
+// Every random draw in the repository must flow from a seeded, named
+// xrand.RNG stream (xrand.New/NewNamed/Split, or netsim's per-link stream
+// constructors built on them). The math/rand globals draw from a
+// process-wide stream seeded at startup, and a naked rand.New hides the
+// seed from the experiment config; either way the draw order — and with it
+// the simulation output — stops being a pure function of the seed.
+var RNGDiscipline = &Analyzer{
+	Name: "rngdiscipline",
+	Doc:  "bans math/rand outside internal/xrand; all randomness flows from seeded, named xrand streams",
+	Run:  runRNGDiscipline,
+}
+
+func runRNGDiscipline(pass *Pass) error {
+	if matchesAny(pass.PkgPath, RNGAllowedPkgs) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ImportSpec:
+				path, err := strconv.Unquote(n.Path.Value)
+				if err == nil && rngPkgs[path] {
+					pass.Reportf(n.Pos(), "import of %s: all randomness must flow from repro/internal/xrand streams", path)
+				}
+			case *ast.SelectorExpr:
+				obj := pass.Info.ObjectOf(n.Sel)
+				if !rngPkgs[objectPkgPath(obj)] {
+					return true
+				}
+				switch {
+				case isTypeName(obj):
+					pass.Reportf(n.Pos(), "reference to math/rand type %s; the simulation's RNG type is xrand.RNG", n.Sel.Name)
+				case receiverTypeName(obj) != "":
+					pass.Reportf(n.Pos(), "call to %s.%s; the simulation's RNG type is xrand.RNG", receiverTypeName(obj), n.Sel.Name)
+				case rngConstructors[n.Sel.Name]:
+					pass.Reportf(n.Pos(), "rand.%s constructs an unnamed stream; use xrand.New/NewNamed/Split so the seed is explicit and the stream is attributable", n.Sel.Name)
+				default:
+					pass.Reportf(n.Pos(), "math/rand.%s draws from process-global state; draw from a seeded xrand.RNG stream instead", n.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Result is the outcome of running a set of analyzers over a set of
+// packages.
+type Result struct {
+	// Findings are the unsuppressed diagnostics, sorted by position.
+	Findings []Diagnostic
+	// Suppressed are diagnostics covered by a //detlint:ignore
+	// directive, sorted by position.
+	Suppressed []Diagnostic
+	// SuppressedByAnalyzer counts suppressions per analyzer name.
+	SuppressedByAnalyzer map[string]int
+	// Packages is how many packages were analyzed.
+	Packages int
+}
+
+// Summary renders the one-line accounting detlint prints after a run. The
+// suppression total is always shown — even when zero — so a creeping pile
+// of ignores is visible in every CI log.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "detlint: %d packages, %d findings, %d suppressed", r.Packages, len(r.Findings), len(r.Suppressed))
+	if len(r.SuppressedByAnalyzer) > 0 {
+		names := make([]string, 0, len(r.SuppressedByAnalyzer))
+		for name := range r.SuppressedByAnalyzer {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts := make([]string, 0, len(names))
+		for _, name := range names {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, r.SuppressedByAnalyzer[name]))
+		}
+		fmt.Fprintf(&b, " (%s)", strings.Join(parts, " "))
+	}
+	return b.String()
+}
+
+// RunAnalyzer runs a single analyzer over one loaded package and returns
+// its raw diagnostics, with no suppression applied. The analysistest
+// harness uses it to match findings against want-comments exactly.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		PkgPath:  pkg.Path,
+		diags:    &diags,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	return diags, nil
+}
+
+// Runner executes analyzers over loaded packages and applies the
+// suppression directives.
+type Runner struct {
+	Analyzers []*Analyzer
+}
+
+// Run analyzes every package and returns the combined, suppression-filtered
+// result. Analyzer errors abort the run; they indicate a broken analyzer,
+// not a broken target.
+func (r *Runner) Run(pkgs []*Package) (*Result, error) {
+	res := &Result{SuppressedByAnalyzer: make(map[string]int), Packages: len(pkgs)}
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range r.Analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				PkgPath:  pkg.Path,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+
+		var directives []*Directive
+		for _, f := range pkg.Files {
+			directives = append(directives, collectDirectives(pkg.Fset, f)...)
+		}
+		known := make(map[string]bool, len(r.Analyzers))
+		for _, a := range r.Analyzers {
+			known[a.Name] = true
+		}
+		// Directive hygiene findings are ordinary diagnostics, except
+		// they can never themselves be suppressed.
+		for _, d := range directives {
+			switch {
+			case d.Malformed:
+				diags = append(diags, Diagnostic{
+					Analyzer: "directive",
+					Pos:      d.Pos,
+					Message:  "detlint:ignore needs an analyzer name and a reason: //detlint:ignore <analyzer> <reason>",
+				})
+			case !known[d.Analyzer]:
+				diags = append(diags, Diagnostic{
+					Analyzer: "directive",
+					Pos:      d.Pos,
+					Message:  fmt.Sprintf("detlint:ignore names unknown analyzer %q", d.Analyzer),
+				})
+			}
+		}
+
+		for i := range diags {
+			diag := &diags[i]
+			if diag.Analyzer == "directive" {
+				continue
+			}
+			pos := pkg.Fset.Position(diag.Pos)
+			for _, d := range directives {
+				if d.covers(diag.Analyzer, pos) {
+					diag.Suppressed = true
+					diag.SuppressReason = d.Reason
+					d.Used = true
+					break
+				}
+			}
+		}
+		// An ignore that suppresses nothing is stale: the code it
+		// excused was fixed or moved. Flag it so dead suppressions are
+		// pruned instead of accumulating.
+		for _, d := range directives {
+			if !d.Malformed && known[d.Analyzer] && !d.Used {
+				diags = append(diags, Diagnostic{
+					Analyzer: "directive",
+					Pos:      d.Pos,
+					Message:  fmt.Sprintf("detlint:ignore %s suppresses no finding; remove it", d.Analyzer),
+				})
+			}
+		}
+
+		for _, diag := range diags {
+			if diag.Suppressed {
+				res.Suppressed = append(res.Suppressed, diag)
+				res.SuppressedByAnalyzer[diag.Analyzer]++
+			} else {
+				res.Findings = append(res.Findings, diag)
+			}
+		}
+	}
+	sortDiags := func(ds []Diagnostic, fset *token.FileSet) {
+		sort.Slice(ds, func(i, j int) bool {
+			pi, pj := fset.Position(ds[i].Pos), fset.Position(ds[j].Pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			if pi.Line != pj.Line {
+				return pi.Line < pj.Line
+			}
+			return ds[i].Analyzer < ds[j].Analyzer
+		})
+	}
+	if len(pkgs) > 0 {
+		sortDiags(res.Findings, pkgs[0].Fset)
+		sortDiags(res.Suppressed, pkgs[0].Fset)
+	}
+	return res, nil
+}

@@ -1,0 +1,27 @@
+// Fixture for the suppression-directive machinery, exercised through the
+// full Runner rather than the single-analyzer harness.
+package directives
+
+import "time"
+
+func suppressedSameLine() time.Time {
+	return time.Now() //detlint:ignore wallclock fixture: uptime shown to humans only
+}
+
+func suppressedLineAbove() time.Time {
+	//detlint:ignore wallclock fixture: cached start time for the status page
+	return time.Now()
+}
+
+func unsuppressed() time.Time {
+	return time.Now() // a plain comment does not suppress
+}
+
+//detlint:ignore wallclock
+func missingReason() {}
+
+//detlint:ignore nosuchanalyzer because reasons
+func unknownAnalyzer() {}
+
+//detlint:ignore maprange fixture: the loop this excused was deleted long ago
+func staleDirective() {}

@@ -1,0 +1,141 @@
+// Fixture for the maprange analyzer: ranging over a map is fine until the
+// body does order-sensitive work; the collect-then-sort idiom is the
+// sanctioned fix and stays quiet.
+package maprange
+
+import (
+	"fmt"
+	"maps"
+	"slices"
+	"sort"
+	"strings"
+
+	"repro/internal/xrand"
+)
+
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to "out"`
+	}
+	return out
+}
+
+func badIterKeys(m map[string]int) []string {
+	var out []string
+	for k := range maps.Keys(m) {
+		out = append(out, k) // want `append to "out"`
+	}
+	return out
+}
+
+func goodCollectSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodCollectSlicesSort(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+func badRNG(m map[string]int, rng *xrand.RNG) int {
+	total := 0
+	for range m {
+		total += rng.Intn(3) // want `a call to xrand\.RNG\.Intn`
+	}
+	return total
+}
+
+func badPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println output`
+	}
+}
+
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `strings\.Builder\.WriteString`
+	}
+	return b.String()
+}
+
+func badFloat(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `float accumulation into "sum"`
+	}
+	return sum
+}
+
+func badConcat(m map[string]string) string {
+	s := ""
+	for _, v := range m {
+		s += v // want `string concatenation into "s"`
+	}
+	return s
+}
+
+func badArgmax(m map[string]int) string {
+	best := ""
+	bestN := -1
+	for k, v := range m {
+		if v > bestN {
+			bestN = v // want `assignment to "bestN" from the loop variables`
+			best = k
+		}
+	}
+	return best
+}
+
+func goodIntSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func goodLonghandIntSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n = n + v
+	}
+	return n
+}
+
+func goodPerKeyWrite(m map[string]int) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = fmt.Sprintf("%s=%d", k, v)
+	}
+	return out
+}
+
+func goodSetInsert(m map[string]int) map[string]struct{} {
+	set := make(map[string]struct{})
+	for k := range m {
+		if len(k) > 3 {
+			set[k] = struct{}{}
+		}
+	}
+	return set
+}
+
+func goodLoopLocal(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		double := v * 2
+		n += double
+	}
+	return n
+}

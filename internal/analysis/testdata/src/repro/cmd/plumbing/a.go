@@ -1,0 +1,11 @@
+// Fixture for the wallclock allowlist: packages under repro/cmd/ are HTTP
+// plumbing and may read the host clock (uptime counters, progress output).
+// No want comments — the analyzer must stay silent here.
+package plumbing
+
+import "time"
+
+func Uptime(start time.Time) time.Duration {
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}

@@ -1,0 +1,22 @@
+// Fixture for the rngdiscipline analyzer: math/rand is banned outside
+// internal/xrand; xrand streams are the sanctioned source of randomness.
+package rngdiscipline
+
+import (
+	"math/rand" // want `import of math/rand: all randomness must flow from repro/internal/xrand streams`
+
+	"repro/internal/xrand"
+)
+
+func bad() int {
+	n := rand.Intn(10)                // want `math/rand\.Intn draws from process-global state`
+	r := rand.New(rand.NewSource(1))  // want `rand\.New constructs an unnamed stream` `rand\.NewSource constructs an unnamed stream`
+	rand.Shuffle(3, func(i, j int) {}) // want `math/rand\.Shuffle draws from process-global state`
+	return n + r.Int()                // want `call to rand\.Rand\.Int; the simulation's RNG type is xrand\.RNG`
+}
+
+func good(seed uint64) int {
+	rng := xrand.NewNamed(seed, "fixture")
+	child := rng.Split()
+	return rng.Intn(10) + int(child.Uint64()%3)
+}

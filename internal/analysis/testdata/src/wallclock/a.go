@@ -1,0 +1,21 @@
+// Fixture for the wallclock analyzer: host-clock reads and timers are
+// banned; time values built from data are fine.
+package wallclock
+
+import "time"
+
+func bad() time.Duration {
+	start := time.Now()          // want `time\.Now reads the host clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep blocks on the host clock`
+	<-time.After(time.Second)    // want `time\.After schedules on the host clock`
+	t := time.NewTicker(1)       // want `time\.NewTicker schedules on the host clock`
+	t.Stop()
+	return time.Since(start) // want `time\.Since reads the host clock`
+}
+
+func good() time.Duration {
+	var d time.Duration = 5 * time.Millisecond
+	epoch := time.Unix(0, 42)
+	_ = epoch.Add(d)
+	return d * 2
+}

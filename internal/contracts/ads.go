@@ -167,6 +167,7 @@ func (q *QueenBee) secondPriceLocked(ad *Ad) uint64 {
 			}
 		}
 		if shares && other.BidPerClick > best {
+			//detlint:ignore maprange pure max over uint64 bids; the reduced value is iteration-order independent
 			best = other.BidPerClick
 		}
 	}

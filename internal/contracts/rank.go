@@ -3,6 +3,7 @@ package contracts
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strconv"
 
 	"repro/internal/chain"
@@ -199,11 +200,6 @@ func sortedKeys(m map[string]float64) []string {
 	for k := range m {
 		out = append(out, k)
 	}
-	// Insertion sort keeps this dependency-free and the maps are small.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Strings(out)
 	return out
 }

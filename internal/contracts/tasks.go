@@ -275,9 +275,16 @@ func (q *QueenBee) finalizeTaskLocked(ctx *chain.TxContext, t *Task) error {
 			votes[r.Digest] = append(votes[r.Digest], a)
 		}
 	}
+	// A strict majority is unique, but scan digests in sorted order
+	// anyway so the loop is order-independent by construction.
+	digests := make([]string, 0, len(votes))
+	for digest := range votes {
+		digests = append(digests, digest)
+	}
+	sort.Strings(digests)
 	var winning string
-	for digest, voters := range votes {
-		if len(voters)*2 > len(t.Assignees) {
+	for _, digest := range digests {
+		if len(votes[digest])*2 > len(t.Assignees) {
 			winning = digest
 			break
 		}

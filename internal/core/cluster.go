@@ -134,6 +134,13 @@ type Cluster struct {
 
 	nextRankEpoch uint64
 
+	// bootCost accumulates the DHT join traffic paid while assembling
+	// the deployment (initial bootstrap plus every later AddBee join).
+	// It is deliberately kept out of per-query receipts: experiments
+	// report steady-state serving costs, and setup traffic is exposed
+	// separately through BootCost.
+	bootCost netsim.Cost
+
 	// Fault injection and self-healing (see maintenance.go).
 	faultPlan  *netsim.FaultPlan
 	faultEpoch time.Time
@@ -206,12 +213,17 @@ func (c *Cluster) bootstrapDHT() {
 	}
 	seed := c.Peers[0].DHT().Self()
 	for _, p := range c.Peers[1:] {
-		p.DHT().Bootstrap([]dht.Contact{seed})
+		c.bootCost = c.bootCost.Seq(p.DHT().Bootstrap([]dht.Contact{seed}))
 	}
 	for _, p := range c.Peers {
-		p.DHT().Bootstrap([]dht.Contact{seed})
+		c.bootCost = c.bootCost.Seq(p.DHT().Bootstrap([]dht.Contact{seed}))
 	}
 }
+
+// BootCost reports the accumulated DHT join traffic paid to assemble the
+// deployment: the initial bootstrap rounds plus every AddBee join since.
+// Setup traffic is accounted here rather than on per-query receipts.
+func (c *Cluster) BootCost() netsim.Cost { return c.bootCost }
 
 // AddBee creates, funds, stakes and registers a new worker bee. The bee
 // is active after the next Seal.
@@ -220,7 +232,7 @@ func (c *Cluster) AddBee(name string) *WorkerBee {
 	d := dht.NewNode(c.Net, addr, c.cfg.DHT)
 	peer := store.NewPeer(c.Net, d, c.cfg.Peer)
 	if len(c.Peers) > 0 {
-		d.Bootstrap([]dht.Contact{c.Peers[0].DHT().Self()})
+		c.bootCost = c.bootCost.Seq(d.Bootstrap([]dht.Contact{c.Peers[0].DHT().Self()}))
 	}
 	acct := chain.NewNamedAccount(c.cfg.Seed, "bee:"+name)
 	stake := c.cfg.Contract.MinStake

@@ -200,6 +200,7 @@ func (f *Frontend) scoreAndCompose(bud reqBudget, resp *SearchResponse, terms []
 	maxRank := 0.0
 	for _, r := range ranks {
 		if r > maxRank {
+			//detlint:ignore maprange pure max over float64 ranks; the reduced value is iteration-order independent
 			maxRank = r
 		}
 	}

@@ -203,6 +203,8 @@ type Readiness struct {
 	ShardsOK    int
 	// Failed lists the shards whose pointer record is unreachable.
 	Failed []int
+	// Cost is the DHT probe traffic the readiness check itself paid.
+	Cost netsim.Cost
 }
 
 // Readiness probes every shard pointer and reports which are currently
@@ -220,7 +222,8 @@ func (c *Cluster) Readiness() Readiness {
 		return r
 	}
 	for shard := 0; shard < c.cfg.NumShards; shard++ {
-		_, _, _, err := d.Get(dht.KeyOfString(index.ShardPointerKey(shard)))
+		_, _, cost, err := d.Get(dht.KeyOfString(index.ShardPointerKey(shard)))
+		r.Cost = r.Cost.Seq(cost)
 		if err == nil || errors.Is(err, dht.ErrNotFound) {
 			r.ShardsOK++
 			continue

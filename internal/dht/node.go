@@ -310,6 +310,7 @@ func (n *Node) Ping(to Contact) (netsim.Cost, error) {
 // the k closest live contacts found. Queries within a round are accounted
 // as parallel; rounds are sequential.
 func (n *Node) lookupNodes(target Key) ([]Contact, netsim.Cost) {
+	//detlint:ignore errsink iterativeLookup only errors on context cancellation, impossible with context.Background
 	contacts, cost, _ := n.iterativeLookup(context.Background(), target, func(c Contact) ([]Contact, bool, netsim.Cost) {
 		resp, cost, err := n.call(c, findNodeReq{From: n.self, Target: target})
 		if err != nil {
@@ -723,6 +724,7 @@ func (n *Node) FindProviders(key Key, limit int) ([]Contact, netsim.Cost, error)
 	}
 	enough := func() bool { return limit > 0 && len(seen) >= limit }
 
+	//detlint:ignore errsink iterativeLookup only errors on context cancellation, impossible with context.Background
 	_, cost, _ := n.iterativeLookup(context.Background(), key, func(c Contact) ([]Contact, bool, netsim.Cost) {
 		if enough() {
 			return nil, true, netsim.Cost{}
@@ -785,6 +787,7 @@ func (n *Node) Refresh() netsim.Cost {
 	var total netsim.Cost
 	for _, k := range keys {
 		v := vals[k]
+		//detlint:ignore errsink best-effort republish; a failed Put leaves the record for the next Refresh round
 		_, cost, _ := n.Put(k, v.value, v.seq)
 		total = total.Seq(cost)
 	}

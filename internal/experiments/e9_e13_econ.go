@@ -94,12 +94,15 @@ func runE9(seed uint64) []*metrics.Table {
 // be stable at table granularity.
 func timePerOp(f func()) int64 {
 	const minRounds = 5
+	//detlint:ignore wallclock host-CPU microbenchmark; measures real compute, no simulated state depends on it
 	start := time.Now()
 	rounds := 0
+	//detlint:ignore wallclock host-CPU microbenchmark; measures real compute, no simulated state depends on it
 	for time.Since(start) < 2*time.Millisecond || rounds < minRounds {
 		f()
 		rounds++
 	}
+	//detlint:ignore wallclock host-CPU microbenchmark; measures real compute, no simulated state depends on it
 	return time.Since(start).Nanoseconds() / int64(rounds)
 }
 
@@ -231,13 +234,16 @@ func runE11(seed uint64) []*metrics.Table {
 	{
 		_, peers := buildStoreSwarm(seed, 16, 0)
 		u := baselineUnverified()
+		//detlint:ignore costdrop baseline index population; the table measures poisoning success, not cost
 		u.Publish(peers[0].DHT(), "dweb://legit", "trusted reliable verified facts knowledge")
 		attacked, poisoned := 0, 0
 		for _, term := range []string{"trusted", "reliable", "verified", "facts", "knowledge"} {
 			attacked++
+			//detlint:ignore costdrop attacker traffic; the table's cost column is stake (zero), not messages
 			if _, err := u.Poison(peers[7].DHT(), term, "dweb://spam"); err != nil {
 				continue
 			}
+			//detlint:ignore costdrop poisoning probe; only the returned URLs feed the table
 			urls, _, _ := u.Search(peers[3].DHT(), term)
 			for _, url := range urls {
 				if url == "dweb://spam" {

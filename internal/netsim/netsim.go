@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -233,7 +234,8 @@ func (n *Network) Unregister(id NodeID) {
 	delete(n.nodes, id)
 }
 
-// Nodes returns the IDs of all registered nodes (any order).
+// Nodes returns the IDs of all registered nodes in sorted order, so
+// callers iterating the membership do identical work on every run.
 func (n *Network) Nodes() []NodeID {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -241,6 +243,7 @@ func (n *Network) Nodes() []NodeID {
 	for id := range n.nodes {
 		out = append(out, id)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -497,3 +497,37 @@ func TestCallCtxLiveMatchesCall(t *testing.T) {
 		t.Fatalf("stats diverged: %+v vs %+v", s1, s2)
 	}
 }
+
+// TestNodesSorted pins the membership-listing contract detlint's sweep
+// introduced: Nodes() returns IDs in sorted order, so every caller that
+// iterates the membership (Broadcast included) does identical work per
+// run regardless of map layout.
+func TestNodesSorted(t *testing.T) {
+	n := newTestNet(t, "delta", "alpha", "charlie", "bravo")
+	ids := n.Nodes()
+	if !sort.SliceIsSorted(ids, func(i, j int) bool { return ids[i] < ids[j] }) {
+		t.Fatalf("Nodes() not sorted: %v", ids)
+	}
+}
+
+// TestBroadcastDeterministic pins Broadcast on sorted membership: in
+// legacy shared-stream mode the per-call RNG draws depend on call order,
+// so two identical networks must pay byte-identical broadcast costs.
+// Before Nodes() sorted its output, map iteration order leaked into the
+// shared stream here.
+func TestBroadcastDeterministic(t *testing.T) {
+	run := func() (int, Cost) {
+		cfg := DefaultConfig()
+		cfg.SharedStream = true
+		n := New(cfg)
+		for _, id := range []NodeID{"edgar", "alice", "dave", "carol", "bob"} {
+			n.Register(id, echoHandler)
+		}
+		return n.Broadcast("alice", "ping")
+	}
+	d1, c1 := run()
+	d2, c2 := run()
+	if d1 != d2 || c1 != c2 {
+		t.Fatalf("broadcast diverged across identical runs: (%d, %+v) vs (%d, %+v)", d1, c1, d2, c2)
+	}
+}

@@ -138,8 +138,15 @@ func (p *Peer) HandleRPC(from netsim.NodeID, req any) (any, error) {
 // this peer as a provider for the root. It returns the root CID.
 func (p *Peer) Add(data []byte) (CID, netsim.Cost, error) {
 	root, blocks := ChunkDocument(data, p.cfg.ChunkSize)
-	for _, b := range blocks {
-		p.blocks.Pin(b)
+	// Pin in sorted CID order so the block store sees the same insertion
+	// sequence on every run.
+	cids := make([]CID, 0, len(blocks))
+	for c := range blocks {
+		cids = append(cids, c)
+	}
+	sort.Slice(cids, func(i, j int) bool { return bytes.Compare(cids[i][:], cids[j][:]) < 0 })
+	for _, c := range cids {
+		p.blocks.Pin(blocks[c])
 	}
 	p.rememberRoot(root)
 	_, cost, err := p.dht.Provide(root.Key())
@@ -197,6 +204,7 @@ func (p *Peer) FlushProvides() netsim.Cost {
 			continue
 		}
 		seen[root] = true
+		//detlint:ignore errsink best-effort announce; a missed provide is re-sent by the next Reprovide
 		_, cost, _ := p.dht.Provide(root.Key())
 		total = total.Par(cost)
 	}
@@ -297,6 +305,7 @@ func (p *Peer) Fetch(root CID) ([]byte, netsim.Cost, error) {
 				if p.queueProvide(root) {
 					// Deferred: billed by FlushProvides after the wave.
 				} else {
+					//detlint:ignore errsink best-effort cache announce; the fetch itself already succeeded
 					_, cost, _ := p.dht.Provide(root.Key())
 					total = total.Seq(cost)
 				}

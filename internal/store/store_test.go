@@ -366,3 +366,25 @@ func TestStatsSnapshot(t *testing.T) {
 		t.Fatalf("stats = %+v", s)
 	}
 }
+
+// TestAddDeterministicPinOrder pins the sorted-CID pin loop in Add: two
+// identical swarms publishing the same multi-chunk document must end up
+// with the same root, the same announce cost, and the same block-store
+// snapshot. Before Add sorted the chunk CIDs, the block store saw
+// insertions in map order.
+func TestAddDeterministicPinOrder(t *testing.T) {
+	run := func() (CID, netsim.Cost, Stats) {
+		_, peers := buildPeerSwarm(t, 8, DefaultPeerConfig())
+		doc := bytes.Repeat([]byte("deterministic pin order "), 600) // multi-chunk
+		root, cost, err := peers[3].Add(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return root, cost, peers[3].Blocks().StatsSnapshot()
+	}
+	r1, c1, s1 := run()
+	r2, c2, s2 := run()
+	if r1 != r2 || c1 != c2 || s1 != s2 {
+		t.Fatalf("Add diverged across identical runs:\n(%s, %+v, %+v)\n(%s, %+v, %+v)", r1.Short(), c1, s1, r2.Short(), c2, s2)
+	}
+}

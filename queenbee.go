@@ -221,6 +221,7 @@ func (e *Engine) Fetch(r Result) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("queenbee: %q is not a registered page", r.URL)
 	}
+	//detlint:ignore costdrop legacy facade returns content only; cost-accounted fetches go through Frontend.FetchResult
 	data, _, err := e.pool.Frontend(0).FetchResult(core.Result{URL: r.URL, CID: rec.CID})
 	if err != nil {
 		return "", err
