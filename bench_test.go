@@ -425,6 +425,62 @@ func BenchmarkSearch(b *testing.B) {
 	}
 }
 
+// scalingCorpusEngine boots an engine holding an ndocs-document corpus
+// ingested as ONE batch (one commit-reveal round → one segment per
+// shard, so queries hit the lazy v3 block-max path, not a merged chain).
+func scalingCorpusEngine(tb testing.TB, ndocs int, opts ...Option) (*Engine, *corpus.Corpus) {
+	tb.Helper()
+	cfg := corpus.DefaultConfig()
+	cfg.NumDocs = ndocs
+	cfg.MeanDocLen = 40
+	corp := corpus.Generate(cfg)
+	pages := make([]Page, len(corp.Docs))
+	for i, d := range corp.Docs {
+		pages[i] = Page{URL: d.URL, Text: d.Text, Links: d.Links}
+	}
+	base := []Option{WithSeed(1), WithPeers(12), WithBees(3)}
+	e := New(append(base, opts...)...)
+	owner := e.NewAccount("scaling-owner", 1<<40)
+	if _, err := e.PublishBatch(owner, pages); err != nil {
+		tb.Fatal(err)
+	}
+	e.RunUntilIdle()
+	return e, corp
+}
+
+// BenchmarkSearchScaling measures top-10 query cost as the corpus grows
+// 1× → 10× → 100× (48 → 4800 docs). The quantity of interest is how the
+// scoring work scales: with block-max early termination the executor
+// decodes only the blocks whose score bound can still beat the top-10
+// threshold, so postings_scanned must grow far slower than the corpus
+// (TestSearchScalingSublinear asserts ≤ 10× at 100×, and BENCH_search
+// .json records the measured points). blocks_skipped counts the skip
+// pointers taken; sim_ms is the simulated network cost per query.
+func BenchmarkSearchScaling(b *testing.B) {
+	for _, ndocs := range []int{48, 480, 4800} {
+		b.Run(fmt.Sprintf("docs=%d", ndocs), func(b *testing.B) {
+			e, corp := scalingCorpusEngine(b, ndocs)
+			queries := corp.Queries(7, 32, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var scanned, skippedBlocks, simCost int64
+			for i := 0; i < b.N; i++ {
+				resp, err := e.Query(queries[i%len(queries)].Text).Limit(10).Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				scanned += resp.ScoreStats.PostingsScanned
+				skippedBlocks += resp.ScoreStats.BlocksSkipped
+				simCost += int64(resp.Cost.Latency)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(scanned)/float64(b.N), "postings_scanned/op")
+			b.ReportMetric(float64(skippedBlocks)/float64(b.N), "blocks_skipped/op")
+			b.ReportMetric(float64(simCost)/float64(b.N)/1e6, "sim_ms/op")
+		})
+	}
+}
+
 // BenchmarkConcurrentSearch measures serving throughput against one
 // shared engine as the client count grows — plus a pooled serving-tier
 // variant (pool=4, hedged). Every iteration runs each client's mixed

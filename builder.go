@@ -35,6 +35,13 @@ var (
 	ErrDeadlineExceeded = core.ErrDeadlineExceeded
 )
 
+// ScoreStats counts the scoring work one query performed: postings
+// actually scored or probed, and the blocks / candidate documents the
+// block-max executor proved irrelevant and skipped without decoding
+// (docs/serving.md, "Early termination"). Skips change only the work
+// counted here — never the results.
+type ScoreStats = core.ScoreStats
+
 // Explain is the structured execution trace of one query: the analyzed
 // terms, the shard wave, the executed plan tree with per-node candidate
 // counts, and the simulated costs. Request one with QueryBuilder.Explain.
@@ -53,6 +60,9 @@ type Response struct {
 	Total int
 	// Cost is the simulated network expense of answering the query.
 	Cost Cost
+	// ScoreStats counts the scoring work behind this answer: postings
+	// scanned versus blocks and documents skipped by early termination.
+	ScoreStats ScoreStats
 	// Explain is non-nil when the builder requested an execution trace.
 	Explain *Explain
 	// Degraded is non-nil when the deployment runs WithDegradedReads and
@@ -204,12 +214,13 @@ func (b *QueryBuilder) Run() (*Response, error) {
 		return nil, err
 	}
 	out := &Response{
-		Results:  make([]Result, 0, len(resp.Results)),
-		Ads:      make([]Ad, 0, len(resp.Ads)),
-		Total:    resp.Total,
-		Cost:     resp.Cost,
-		Explain:  resp.Explain,
-		Degraded: resp.Degraded,
+		Results:    make([]Result, 0, len(resp.Results)),
+		Ads:        make([]Ad, 0, len(resp.Ads)),
+		Total:      resp.Total,
+		Cost:       resp.Cost,
+		ScoreStats: resp.ScoreStats,
+		Explain:    resp.Explain,
+		Degraded:   resp.Degraded,
 	}
 	for _, r := range resp.Results {
 		out.Results = append(out.Results, Result{URL: r.URL, Score: r.Score, Rank: r.Rank, Snippet: r.Snippet})

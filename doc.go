@@ -48,16 +48,22 @@
 // # Query hot path
 //
 // The read side is built to stay allocation-light under heavy query
-// traffic. Index segments are serialized in a block-structured v2 format
-// (docs/segment-format.md): a sorted term dictionary with per-term byte
-// offsets over a delta-varint postings region, so a query decodes only
-// the posting lists of the terms it touches, memoized per immutable
-// segment. Frontends layer two caches over the DHT — immutable segments
-// by content digest and each shard's merged chain keyed by its digest
-// chain — and fetch the distinct shards of a multi-term query as one
-// parallel wave (costed as the slowest shard, not the sum, while staying
-// deterministic per seed). Ranking selects the top k results with a bounded
-// min-heap instead of sorting every candidate. Segment encoding remains
+// traffic. Index segments are serialized in a block-max v3 format
+// (docs/segment-format.md): a sorted term dictionary whose entries
+// carry per-8-posting-block skip data — last DocID, byte offset, and an
+// exact block-max score frontier — over a postings region that switches
+// dense terms to bitmap encoding, so a query decodes only the posting
+// blocks it touches, memoized per immutable segment. Frontends layer
+// two caches over the DHT — immutable segments by content digest and
+// each shard's merged chain keyed by its digest chain — and fetch the
+// distinct shards of a multi-term query as one parallel wave (costed as
+// the slowest shard, not the sum, while staying deterministic per
+// seed). Ranking is document-at-a-time block-max WAND (docs/serving.md):
+// per-term cursors drive top-k early termination against a bounded
+// min-heap threshold, skipping every posting block that provably cannot
+// reach the current page — byte-identical to exhaustive scoring
+// (WithExhaustiveScoring forces the legacy loop; Response.ScoreStats
+// reports postings scanned vs skipped). Segment encoding remains
 // byte-deterministic, which commit–reveal task verification depends on.
 //
 // # Concurrent serving

@@ -112,6 +112,7 @@ type QueenBee struct {
 	rankEpochs map[uint64]*RankEpoch
 	pageRanks  map[string]float64 // latest finalized ranks
 	rankEpoch  uint64             // latest finalized epoch
+	rankGen    uint64             // bumped on every pageRanks mutation (RankGen)
 
 	paidPopularity map[string]bool // "epoch:url" → paid
 

@@ -98,6 +98,9 @@ func (q *QueenBee) onRankTaskFinalizedLocked(ctx *chain.TxContext, t *Task) {
 	for _, e := range entries {
 		q.pageRanks[e.URL] = e.Rank
 	}
+	if len(entries) > 0 {
+		q.rankGen++
+	}
 	re.Finalized++
 	if re.Finalized >= re.Partitions {
 		re.Done = true
@@ -126,6 +129,17 @@ func (q *QueenBee) PageRanks() map[string]float64 {
 		out[k] = v
 	}
 	return out
+}
+
+// RankGen returns a generation counter that advances whenever the rank
+// vector changes (any finalized partition that merged entries). Readers
+// that derive values from PageRanks — e.g. the frontend's memoized
+// maxRank — key their caches on it instead of rescanning the vector on
+// every query.
+func (q *QueenBee) RankGen() uint64 {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return q.rankGen
 }
 
 // LatestRankEpoch returns the newest finalized epoch (0 if none).

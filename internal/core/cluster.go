@@ -82,6 +82,11 @@ type Config struct {
 	// instead of failing the whole wave.
 	DegradedReads bool
 
+	// ExhaustiveScoring disables the block-max WAND top-k executor (A?
+	// ablation / E18 baseline): every candidate document is fully scored.
+	// Results are byte-identical either way; only the work differs.
+	ExhaustiveScoring bool
+
 	Net      netsim.Config
 	DHT      dht.Config
 	Peer     store.PeerConfig

@@ -45,9 +45,26 @@ type Frontend struct {
 	statsFlight  *statsFetch
 	statsFetches int64
 
+	// Memoized rank view: PageRanks() copies the whole rank vector and
+	// the old scoring path then scanned it for the max on every query —
+	// O(corpus) before a single doc was scored. Both are now cached and
+	// keyed on the contract's rank generation (not the cached-stats page
+	// count: page registrations don't move ranks, and rank epochs can
+	// finalize without new pages).
+	ranks     map[string]float64
+	ranksMax  float64
+	ranksGen  uint64
+	ranksInit bool
+
 	// gallop selects the intersection kernel (A1); queries snapshot it at
 	// start, so flipping it mid-flight never races an executing plan.
 	gallop atomic.Bool
+
+	// wand selects the top-k executor: block-max WAND early termination
+	// (the default) or exhaustive candidate scoring
+	// (Config.ExhaustiveScoring; the E18 baseline). Results are
+	// byte-identical either way; snapshotted per query like gallop.
+	wand atomic.Bool
 
 	// hedge, when set by a FrontendPool, is the buddy frontend this one
 	// duplicates its slowest shard fetch onto (hedged reads); hedges
@@ -100,6 +117,7 @@ func NewFrontend(c *Cluster, peer *store.Peer) *Frontend {
 		statsGen:    -1,
 	}
 	f.gallop.Store(true)
+	f.wand.Store(!c.cfg.ExhaustiveScoring)
 	return f
 }
 
@@ -110,6 +128,14 @@ func (f *Frontend) SetUseGallopIntersection(on bool) { f.gallop.Store(on) }
 
 // UseGallopIntersection reports the currently selected kernel.
 func (f *Frontend) UseGallopIntersection() bool { return f.gallop.Load() }
+
+// SetUseBlockMax selects the top-k executor: block-max WAND early
+// termination (true) or exhaustive scoring (false). Safe while queries
+// are in flight: each query snapshots the option when it starts.
+func (f *Frontend) SetUseBlockMax(on bool) { f.wand.Store(on) }
+
+// UseBlockMax reports the currently selected top-k executor.
+func (f *Frontend) UseBlockMax() bool { return f.wand.Load() }
 
 // chainEntry caches the merged view of one shard's segment chain, keyed by
 // the exact digest chain it was built from. The entry stays valid until
@@ -136,11 +162,24 @@ type Ad struct {
 	BidPerClick uint64
 }
 
+// ScoreStats counts the ranking stage's work: postings decoded or
+// probed, skip blocks passed without decoding, and candidate documents
+// never fully scored (block-max early termination). Exhaustive scoring
+// reports zero skips; the scaling benchmark and E18 read these to show
+// sublinear growth.
+type ScoreStats struct {
+	PostingsScanned int64
+	BlocksSkipped   int64
+	DocsSkipped     int64
+}
+
 // SearchResponse is the composed answer for one query.
 type SearchResponse struct {
 	Results []Result
 	Ads     []Ad
 	Cost    netsim.Cost
+	// ScoreStats records the ranking stage's work for this query.
+	ScoreStats ScoreStats
 	// Terms are the positive analyzed terms (excluded terms drive
 	// shard loading but not scoring, ads or snippets).
 	Terms []string
@@ -177,9 +216,23 @@ func (f *Frontend) Search(query string, k int) (SearchResponse, error) {
 // before the collection-statistics read (the stage's only RPC; ranking
 // itself is pure CPU): a spent lifecycle returns ErrDeadlineExceeded
 // without composing anything.
+//
+// Three executors share this stage, all producing byte-identical
+// rankings (docs/serving.md "Early termination"):
+//
+//   - direct (non-nil direct cursor): a bare-term query walks its one
+//     posting list block by block, skipping blocks whose block-max bound
+//     cannot beat the current top-(offset+limit) threshold;
+//   - WAND (useWAND, consistent doc lengths): candidates stream against
+//     per-term block cursors with frontier bounds and skip-pointer
+//     galloping;
+//   - exhaustive (fallback and ablation): every candidate is scored via
+//     one forward merge cursor per term — O(postings), not the
+//     O(docs·terms·log n) of the per-(doc,term) binary searches this
+//     replaced.
 func (f *Frontend) scoreAndCompose(bud reqBudget, resp *SearchResponse, terms []string,
 	merged map[string]index.PostingList, segsByShard map[int]*index.Segment,
-	docs []index.DocID, limit, offset int) error {
+	docs []index.DocID, limit, offset int, useWAND bool, direct *index.TermCursor) error {
 
 	if err := bud.check(resp.Cost.Latency); err != nil {
 		return err
@@ -196,56 +249,117 @@ func (f *Frontend) scoreAndCompose(bud reqBudget, resp *SearchResponse, terms []
 		AvgDocLen: avgDocLen(stats),
 	}, f.cluster.cfg.RankWeight)
 
-	ranks := f.cluster.QB.PageRanks()
-	maxRank := 0.0
-	for _, r := range ranks {
-		if r > maxRank {
-			//detlint:ignore maprange pure max over float64 ranks; the reduced value is iteration-order independent
-			maxRank = r
-		}
-	}
+	ranks, maxRank := f.pageRankView()
 	urls := f.docURLView()
+	rankOf := func(d index.DocID) float64 { return ranks[urls[d]] }
+	avgLen := uint32(avgDocLen(stats))
 
-	// One DocID→length lookup, built up front: each candidate probes
-	// every loaded shard at most once, instead of rescanning the shards
-	// for every (doc, term) pair in the scoring loop below. Shards are
-	// probed in ascending id order so collisions resolve the same way
-	// on every run.
+	// Shards are probed in ascending id order so collisions resolve the
+	// same way on every run.
 	shardIDs := make([]int, 0, len(segsByShard))
 	for sid := range segsByShard {
 		shardIDs = append(shardIDs, sid)
 	}
 	sort.Ints(shardIDs)
-	lens := make(map[index.DocID]uint32, len(docs))
-	for _, d := range docs {
-		for _, sid := range shardIDs {
-			if l, ok := segsByShard[sid].DocLens[d]; ok {
-				lens[d] = l
-				break
-			}
-		}
-	}
-	docLen := func(d index.DocID) uint32 {
-		if l, ok := lens[d]; ok {
-			return l
-		}
-		return uint32(avgDocLen(stats))
-	}
 
-	scored := make([]index.ScoredDoc, 0, len(docs))
-	for _, d := range docs {
-		var text float64
-		for _, term := range terms {
-			pl := merged[term]
-			if p, ok := pl.Find(d); ok {
-				text += scorer.TermScore(p.TF, docLen(d), len(pl))
+	k := offset + limit
+	var top []index.ScoredDoc
+	var wstats index.WANDStats
+	switch {
+	case direct != nil:
+		// Bare-term fast path: the single shard's postings drive scoring
+		// directly, no candidate list materialized. Doc lengths probe the
+		// loaded shard segments per doc — with one shard (always, for one
+		// term) that is exactly the lens-map value the exhaustive path
+		// would have built from the same candidates.
+		docLen := func(d index.DocID) uint32 {
+			for _, sid := range shardIDs {
+				if l, ok := segsByShard[sid].DocLens[d]; ok {
+					return l
+				}
+			}
+			return avgLen
+		}
+		top = index.WANDTopKDirect(direct, scorer, docLen, rankOf, maxRank, k, &wstats)
+	default:
+		// One DocID→length lookup, built up front: each candidate probes
+		// every loaded shard at most once, instead of rescanning the
+		// shards for every (doc, term) pair in the scoring loop below.
+		// The same pass detects cross-shard disagreement on a doc's
+		// length (possible transiently under churn when shard chains
+		// re-index a page at different times): block-max bounds are
+		// computed from each segment's own lengths and are only safe
+		// against scores that use those lengths, so any disagreement
+		// falls back to exhaustive scoring for this query.
+		lens := make(map[index.DocID]uint32, len(docs))
+		lensConsistent := true
+		for _, d := range docs {
+			have := false
+			var first uint32
+			for _, sid := range shardIDs {
+				l, ok := segsByShard[sid].DocLens[d]
+				if !ok {
+					continue
+				}
+				if !have {
+					first, have = l, true
+					lens[d] = l
+					if len(shardIDs) == 1 {
+						break
+					}
+				} else if l != first {
+					lensConsistent = false
+				}
 			}
 		}
-		url := urls[d]
-		final := scorer.Combine(text, ranks[url], maxRank)
-		scored = append(scored, index.ScoredDoc{Doc: d, Score: final})
+		docLen := func(d index.DocID) uint32 {
+			if l, ok := lens[d]; ok {
+				return l
+			}
+			return avgLen
+		}
+
+		if useWAND && lensConsistent {
+			cursors := make([]*index.TermCursor, len(terms))
+			for i, t := range terms {
+				if seg, ok := segsByShard[index.ShardOf(t, f.cluster.cfg.NumShards)]; ok {
+					cursors[i] = seg.Cursor(t)
+				}
+			}
+			top = index.WANDTopK(docs, cursors, scorer, docLen, rankOf, maxRank, k, &wstats)
+		} else {
+			// Exhaustive scoring: every candidate, every term — but via
+			// forward merge cursors (candidates and postings are both
+			// ascending), not a binary search per (doc, term) pair.
+			idx := make([]int, len(terms))
+			pls := make([]index.PostingList, len(terms))
+			for i, t := range terms {
+				pls[i] = merged[t]
+			}
+			scored := make([]index.ScoredDoc, 0, len(docs))
+			for _, d := range docs {
+				var text float64
+				for ti, pl := range pls {
+					j := idx[ti]
+					for j < len(pl) && pl[j].Doc < d {
+						j++
+					}
+					idx[ti] = j
+					wstats.PostingsScanned++
+					if j < len(pl) && pl[j].Doc == d {
+						text += scorer.TermScore(pl[j].TF, docLen(d), len(pl))
+					}
+				}
+				scored = append(scored, index.ScoredDoc{Doc: d, Score: scorer.Combine(text, rankOf(d), maxRank)})
+			}
+			top = index.TopK(scored, k)
+		}
 	}
-	top := index.TopK(scored, offset+limit)
+	resp.ScoreStats = ScoreStats{
+		PostingsScanned: wstats.PostingsScanned,
+		BlocksSkipped:   wstats.BlocksSkipped,
+		DocsSkipped:     wstats.DocsSkipped,
+	}
 	if offset >= len(top) {
 		top = nil
 	} else {
@@ -567,6 +681,36 @@ func (f *Frontend) cachedStats() (IndexStats, netsim.Cost) {
 	f.mu.Unlock()
 	close(fl.done)
 	return fl.st, fl.cost
+}
+
+// pageRankView returns the rank vector and its maximum, memoized on the
+// contract's rank generation: queries between rank-epoch finalizations
+// reuse one snapshot instead of copying and scanning the whole O(corpus)
+// vector each time. The generation is read before the vector, so a
+// concurrent finalization can at worst store fresh ranks under a stale
+// generation — the next query simply refetches. The returned map is a
+// private snapshot, never mutated, so callers may read it without f.mu.
+func (f *Frontend) pageRankView() (map[string]float64, float64) {
+	gen := f.cluster.QB.RankGen()
+	f.mu.Lock()
+	if f.ranksInit && f.ranksGen == gen {
+		m, mx := f.ranks, f.ranksMax
+		f.mu.Unlock()
+		return m, mx
+	}
+	f.mu.Unlock()
+	ranks := f.cluster.QB.PageRanks()
+	maxRank := 0.0
+	for _, r := range ranks {
+		if r > maxRank {
+			//detlint:ignore maprange pure max over float64 ranks; the reduced value is iteration-order independent
+			maxRank = r
+		}
+	}
+	f.mu.Lock()
+	f.ranks, f.ranksMax, f.ranksGen, f.ranksInit = ranks, maxRank, gen, true
+	f.mu.Unlock()
+	return ranks, maxRank
 }
 
 // CacheStats is a point-in-time snapshot of the frontend's caches.

@@ -265,37 +265,60 @@ func (f *Frontend) ExecuteCtx(ctx context.Context, q Query) (SearchResponse, err
 	if err := bud.check(resp.Cost.Latency); err != nil {
 		return partialTrace(nil, 0, loadCost, netsim.Cost{}, err)
 	}
-	merged := make(map[string]index.PostingList, len(allTerms))
-	for _, term := range allTerms {
-		if seg, ok := segsByShard[shardOf[term]]; ok {
-			merged[term] = seg.Postings(term)
-		}
-	}
-
 	// Options are snapshotted once per query: concurrent SetUseGallop-
-	// Intersection calls can never race a plan mid-execution.
-	ev := &evaluator{f: f, merged: merged, explain: q.Explain, gallop: f.UseGallopIntersection()}
-	if query.HasSite(root) {
-		ev.urls = f.docURLView()
-	}
-	docs, plan := ev.eval(root)
-	resp.Total = len(docs)
+	// Intersection / SetUseBlockMax calls can never race a plan
+	// mid-execution.
+	useWAND := f.UseBlockMax()
 
-	if len(docs) > 0 {
-		if err := f.scoreAndCompose(bud, &resp, posTerms, merged, segsByShard, docs, limit, offset); err != nil {
-			return partialTrace(plan, len(docs), loadCost, netsim.Cost{}, err)
+	var merged map[string]index.PostingList
+	var docs []index.DocID
+	var plan *ExplainNode
+	var direct *index.TermCursor
+	if useWAND && root.Kind == query.KindTerm {
+		// Document-at-a-time fast path: a bare term needs no merged
+		// posting map and no boolean evaluation. The cursor drives
+		// scoring block by block, and Total comes straight from the
+		// term's document frequency — no candidate list is ever
+		// materialized, so skipped blocks are never even decoded.
+		if seg, ok := segsByShard[shardOf[root.Term]]; ok {
+			direct = seg.Cursor(root.Term)
+		}
+		if direct != nil {
+			resp.Total = direct.DF()
+		}
+		if q.Explain {
+			plan = &ExplainNode{Op: "term", Detail: root.Term, Candidates: resp.Total}
+		}
+	} else {
+		merged = make(map[string]index.PostingList, len(allTerms))
+		for _, term := range allTerms {
+			if seg, ok := segsByShard[shardOf[term]]; ok {
+				merged[term] = seg.Postings(term)
+			}
+		}
+		ev := &evaluator{f: f, merged: merged, explain: q.Explain, gallop: f.UseGallopIntersection()}
+		if query.HasSite(root) {
+			ev.urls = f.docURLView()
+		}
+		docs, plan = ev.eval(root)
+		resp.Total = len(docs)
+	}
+
+	if resp.Total > 0 {
+		if err := f.scoreAndCompose(bud, &resp, posTerms, merged, segsByShard, docs, limit, offset, useWAND, direct); err != nil {
+			return partialTrace(plan, resp.Total, loadCost, netsim.Cost{}, err)
 		}
 	}
 	var snippetCost netsim.Cost
 	if q.Snippets && len(resp.Results) > 0 {
 		if snippetCost, err = f.attachSnippets(bud, &resp, posTerms); err != nil {
-			return partialTrace(plan, len(docs), loadCost, snippetCost, err)
+			return partialTrace(plan, resp.Total, loadCost, snippetCost, err)
 		}
 	}
 	// The response must arrive within the deadline: final checkpoint
 	// against the full simulated cost.
 	if err := bud.check(resp.Cost.Latency); err != nil {
-		return partialTrace(plan, len(docs), loadCost, snippetCost, err)
+		return partialTrace(plan, resp.Total, loadCost, snippetCost, err)
 	}
 	if q.Explain {
 		resp.Explain = &Explain{
@@ -304,7 +327,7 @@ func (f *Frontend) ExecuteCtx(ctx context.Context, q Query) (SearchResponse, err
 			Terms:        allTerms,
 			Shards:       shards,
 			Plan:         plan,
-			Candidates:   len(docs),
+			Candidates:   resp.Total,
 			Returned:     len(resp.Results),
 			LoadCost:     loadCost,
 			SnippetCost:  snippetCost,

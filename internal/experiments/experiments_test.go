@@ -9,10 +9,10 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("registered %d experiments, want 16", len(all))
+	if len(all) != 17 {
+		t.Fatalf("registered %d experiments, want 17", len(all))
 	}
-	// E1..E14 consecutively, then E16 and E17 (E15 is reserved).
+	// E1..E14 consecutively, then E16..E18 (E15 is reserved).
 	for i, e := range all {
 		var want string
 		switch {
@@ -127,5 +127,24 @@ func TestE11ZeroColludersZeroCorruption(t *testing.T) {
 		if tb.Cell(i, 0) == "0" && tb.Cell(i, 3) != "0" {
 			t.Fatalf("zero colluders corrupted tasks: row %d", i)
 		}
+	}
+}
+
+// TestE18ResultsIdentical encodes the E18 acceptance shape: block-max
+// WAND returns exactly the same result lists as exhaustive scoring
+// while decoding no more postings than the exhaustive path does.
+func TestE18ResultsIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavyweight")
+	}
+	wand, exhaustive := e18Run(1, 48)
+	if !wand.identical || !exhaustive.identical {
+		t.Fatalf("WAND results diverged from exhaustive: wand=%+v exhaustive=%+v", wand, exhaustive)
+	}
+	if wand.scanned > exhaustive.scanned {
+		t.Fatalf("WAND scanned more postings than exhaustive: %.1f > %.1f", wand.scanned, exhaustive.scanned)
+	}
+	if exhaustive.skipped != 0 || exhaustive.docsSkip != 0 {
+		t.Fatalf("exhaustive path reported skips: %+v", exhaustive)
 	}
 }

@@ -33,10 +33,11 @@ type Segment struct {
 	Terms   map[string]PostingList // materialized postings; nil for lazy v2 segments
 	DocLens map[DocID]uint32       // analyzed token count per covered document
 
-	mu     sync.RWMutex
-	sorted []string     // memoized TermsSorted result
-	lazy   *lazySegment // non-nil iff decoded from the v2 format
-	size   int64        // memoized SizeBytes result (0 = not yet computed)
+	mu      sync.RWMutex
+	sorted  []string               // memoized TermsSorted result
+	lazy    *lazySegment           // non-nil iff decoded from the v2/v3 format
+	size    int64                  // memoized SizeBytes result (0 = not yet computed)
+	cursors map[string]*cursorMeta // memoized per-term skip metadata (Cursor)
 }
 
 // NewSegment returns an empty segment with the given generation.
@@ -113,7 +114,16 @@ func (s *Segment) TermsSorted() []string {
 		out = make([]string, 0, s.lazy.nterms)
 		dict := s.lazy.dict
 		for len(dict) > 0 {
-			term, _, rest, err := nextDictEntry(dict)
+			var term []byte
+			var rest []byte
+			var err error
+			if s.lazy.v3 {
+				var e dictEntryV3
+				e, rest, err = nextDictEntryV3(dict)
+				term = e.term
+			} else {
+				term, _, rest, err = nextDictEntry(dict)
+			}
 			if err != nil {
 				break // dict region is validated at decode; defensive only
 			}
@@ -217,12 +227,15 @@ const (
 
 // SizeBytes estimates the segment's resident memory footprint. Cache
 // eviction budgets are charged against it, so it is deliberately cheap
-// and stable: a lazy v2 segment is charged its raw encoding (posting
-// lists a query later decodes and memoizes are NOT tracked — they can
-// exceed the varint-packed raw bytes by a small constant factor, so the
-// budget bounds the encoded working set, not every decoded view), a
-// built segment its materialized posting lists. Segments are immutable
-// once shared, so the walk runs once and is memoized.
+// and stable: a lazy v2/v3 segment is charged its raw encoding (posting
+// lists or blocks a query later decodes and memoizes are NOT tracked —
+// they can exceed the varint-packed raw bytes by a small constant
+// factor, so the budget bounds the encoded working set, not every
+// decoded view), a built segment its materialized posting lists. A lazy
+// v3 segment additionally carries the materialized sorted-doc slice
+// (bitmap ordinal → DocID) for block-granular decoding, so that is
+// charged too. Segments are immutable once shared, so the walk runs once
+// and is memoized.
 func (s *Segment) SizeBytes() int64 {
 	s.mu.RLock()
 	size := s.size
@@ -235,7 +248,7 @@ func (s *Segment) SizeBytes() int64 {
 	lazy := s.lazy
 	s.mu.RUnlock()
 	if lazy != nil {
-		size += int64(len(lazy.raw))
+		size += int64(len(lazy.raw)) + int64(len(lazy.docsSorted))*4
 	} else {
 		for term, pl := range s.Terms {
 			size += int64(len(term)) + sizeMapEntry + int64(len(pl))*sizePosting
@@ -268,11 +281,7 @@ const (
 // appendDocLens emits the shared docs region: sorted doc IDs,
 // delta-encoded, each followed by its analyzed length.
 func appendDocLens(out []byte, docLens map[DocID]uint32) []byte {
-	docs := make([]DocID, 0, len(docLens))
-	for d := range docLens {
-		docs = append(docs, d)
-	}
-	sort.Slice(docs, func(i, j int) bool { return docs[i] < docs[j] })
+	docs := sortedDocIDs(docLens)
 	out = binary.AppendUvarint(out, uint64(len(docs)))
 	prev := uint64(0)
 	for _, d := range docs {
@@ -310,11 +319,11 @@ func decodeDocLens(data []byte, into map[DocID]uint32) ([]byte, error) {
 }
 
 // Encode serializes the segment deterministically (sorted terms and doc
-// IDs) in the v2 block-structured layout, so that every honest worker bee
-// produces byte-identical segments — the property commit–reveal voting
-// relies on. A lazily decoded segment returns a copy of its original
-// bytes (decode → encode is exactly the identity). See
-// docs/segment-format.md for the byte layout.
+// IDs) in the current v3 block-max layout, so that every honest worker
+// bee produces byte-identical segments — the property commit–reveal
+// voting relies on. A lazily decoded segment returns a copy of its
+// original bytes regardless of its version (decode → encode is exactly
+// the identity). See docs/segment-format.md for the byte layout.
 func (s *Segment) Encode() []byte {
 	s.mu.RLock()
 	if s.lazy != nil {
@@ -323,7 +332,14 @@ func (s *Segment) Encode() []byte {
 		return append([]byte(nil), raw...)
 	}
 	s.mu.RUnlock()
+	return s.encodeV3()
+}
 
+// EncodeV2 serializes the segment in the v2 block-structured layout.
+// Kept so tests can prove v2 bytes still decode to the same logical
+// segment; new writers always emit v3. (A lazily decoded v2 segment's
+// Encode already returns its original bytes.)
+func (s *Segment) EncodeV2() []byte {
 	out := binary.AppendUvarint(nil, segmentMagicV2)
 	out = binary.AppendUvarint(out, s.Gen)
 	out = appendDocLens(out, s.DocLens)
@@ -345,7 +361,7 @@ func (s *Segment) Encode() []byte {
 		if i%dictBlockSize == 0 {
 			blocks = append(blocks, blockMeta{t, len(dict), len(posts)})
 		}
-		enc := s.Terms[t].Encode()
+		enc := s.Postings(t).Encode()
 		dict = binary.AppendUvarint(dict, uint64(len(t)))
 		dict = append(dict, t...)
 		dict = binary.AppendUvarint(dict, uint64(len(enc)))
@@ -385,9 +401,9 @@ func (s *Segment) EncodeV1() []byte {
 	return out
 }
 
-// DecodeSegment parses an encoded segment. v2 bytes (the current format)
-// produce a lazy segment whose posting lists decode on demand; v1 bytes
-// are still accepted and decode eagerly.
+// DecodeSegment parses an encoded segment. v3 bytes (the current format)
+// and v2 bytes produce lazy segments whose posting lists decode on
+// demand; v1 bytes are still accepted and decode eagerly.
 func DecodeSegment(data []byte) (*Segment, error) {
 	magic, n := binary.Uvarint(data)
 	if n <= 0 {
@@ -398,6 +414,8 @@ func DecodeSegment(data []byte) (*Segment, error) {
 		return decodeSegmentV1(data[n:])
 	case segmentMagicV2:
 		return decodeSegmentV2(data, data[n:])
+	case segmentMagicV3:
+		return decodeSegmentV3(data, data[n:])
 	default:
 		return nil, errCorruptSegment
 	}
@@ -457,9 +475,12 @@ func decodeSegmentV1(data []byte) (*Segment, error) {
 type lazySegment struct {
 	raw    []byte // the full original encoding (Encode returns a copy)
 	blocks []lazyBlock
-	dict   []byte // dictionary region: (termLen, term, postingsLen)*
-	posts  []byte // postings region: concatenated PostingList encodings
+	dict   []byte // dictionary region: (termLen, term, postingsLen)* (v3: see nextDictEntryV3)
+	posts  []byte // postings region: concatenated posting blobs
 	nterms int
+
+	v3         bool    // raw is the v3 block-max layout
+	docsSorted []DocID // v3 only: covered docs ascending (bitmap ordinals)
 
 	cache map[string]PostingList // memoized decoded lists (guarded by Segment.mu)
 }
@@ -706,6 +727,9 @@ func cmpBytesString(b []byte, s string) int {
 // that block's dictionary entries, accumulating the postings byte offset,
 // and decodes exactly one posting list on a hit.
 func (l *lazySegment) lookup(term string) (PostingList, bool, error) {
+	if l.v3 {
+		return l.lookupV3(term)
+	}
 	// Last block whose first term is <= term.
 	bi := sort.Search(len(l.blocks), func(i int) bool {
 		return cmpBytesString(l.blocks[i].firstTerm, term) > 0
@@ -753,6 +777,9 @@ func (l *lazySegment) lookup(term string) (PostingList, bool, error) {
 // decodeAll decodes every posting list in dictionary order. Caller holds
 // the owning Segment's write lock.
 func (l *lazySegment) decodeAll() (map[string]PostingList, error) {
+	if l.v3 {
+		return l.decodeAllV3()
+	}
 	m := make(map[string]PostingList, l.nterms)
 	dict := l.dict
 	postOff := 0

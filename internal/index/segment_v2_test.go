@@ -203,10 +203,10 @@ func TestMergeSkipsCorruptSegment(t *testing.T) {
 // allocation.
 func TestDecodeHostileCounts(t *testing.T) {
 	hostile := binary.AppendUvarint(nil, segmentMagicV2)
-	hostile = binary.AppendUvarint(hostile, 1)         // gen
-	hostile = binary.AppendUvarint(hostile, 0)         // ndocs
-	hostile = binary.AppendUvarint(hostile, 1<<62)     // nterms
-	hostile = binary.AppendUvarint(hostile, 1<<62)     // nblocks
+	hostile = binary.AppendUvarint(hostile, 1)     // gen
+	hostile = binary.AppendUvarint(hostile, 0)     // ndocs
+	hostile = binary.AppendUvarint(hostile, 1<<62) // nterms
+	hostile = binary.AppendUvarint(hostile, 1<<62) // nblocks
 	if _, err := DecodeSegment(hostile); err == nil {
 		t.Fatal("hostile counts should fail decode")
 	}
@@ -368,6 +368,8 @@ func FuzzDecodeSegment(f *testing.F) {
 	seed := randomDocSegment(11, 2)
 	f.Add(seed.Encode())
 	f.Add(seed.EncodeV1())
+	f.Add(seed.EncodeV2())
+	f.Add(denseSparseSegment(40).Encode())
 	empty := NewSegment(0)
 	f.Add(empty.Encode())
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -150,6 +150,16 @@ func WithDegradedReads(on bool) Option {
 	return func(c *core.Config) { c.DegradedReads = on }
 }
 
+// WithExhaustiveScoring disables block-max early termination and scores
+// every candidate document against every query term, exactly as the
+// engine did before segment format v3. Results are byte-identical either
+// way (the WAND executor is property-tested against this mode); the
+// switch exists for baseline measurement — E18 compares the two — and as
+// an escape hatch. Off by default.
+func WithExhaustiveScoring(on bool) Option {
+	return func(c *core.Config) { c.ExhaustiveScoring = on }
+}
+
 // WithSharedNetStream switches the network simulation back to the legacy
 // single RNG stream for jitter/drop draws. Simulated costs then match
 // historical golden values exactly, but concurrent queries lose per-seed
