@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment ID (E1..E16) or 'all'")
+	exp := flag.String("exp", "all", "experiment ID (E1..E19) or 'all'")
 	seed := flag.Uint64("seed", 1, "deterministic simulation seed")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()

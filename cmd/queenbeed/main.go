@@ -347,24 +347,26 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 // repairJSON renders the self-healing counters for /readyz and /stats.
 type repairJSON struct {
-	Runs         int      `json:"runs"`
-	ProbedKeys   int      `json:"probed_keys"`
-	Republished  int      `json:"republished"`
-	Reseeded     int      `json:"reseeded"`
-	SegmentsLost int      `json:"segments_lost"`
-	Reprovided   int      `json:"reprovided"`
-	Cost         costJSON `json:"cost"`
+	Runs          int      `json:"runs"`
+	ProbedKeys    int      `json:"probed_keys"`
+	Republished   int      `json:"republished"`
+	Reseeded      int      `json:"reseeded"`
+	ReseededBytes int64    `json:"reseeded_bytes"`
+	SegmentsLost  int      `json:"segments_lost"`
+	Reprovided    int      `json:"reprovided"`
+	Cost          costJSON `json:"cost"`
 }
 
 func repairOf(rs queenbee.RepairStats) repairJSON {
 	return repairJSON{
-		Runs:         rs.Runs,
-		ProbedKeys:   rs.ProbedKeys,
-		Republished:  rs.Republished,
-		Reseeded:     rs.Reseeded,
-		SegmentsLost: rs.SegmentsLost,
-		Reprovided:   rs.Reprovided,
-		Cost:         costOf(rs.Cost),
+		Runs:          rs.Runs,
+		ProbedKeys:    rs.ProbedKeys,
+		Republished:   rs.Republished,
+		Reseeded:      rs.Reseeded,
+		ReseededBytes: rs.ReseededBytes,
+		SegmentsLost:  rs.SegmentsLost,
+		Reprovided:    rs.Reprovided,
+		Cost:          costOf(rs.Cost),
 	}
 }
 
@@ -414,10 +416,59 @@ func ingestOf(is queenbee.IngestStats) ingestJSON {
 	}
 }
 
+// writeJSONBlock renders the write path's cumulative ledger: rounds,
+// put counters, per-tier segment histogram, and the ingested/compacted
+// byte split whose ratio is the write amplification.
+type writeJSONBlock struct {
+	Rounds          int     `json:"rounds"`
+	SegmentWrites   int     `json:"segment_writes"`
+	PointerWrites   int     `json:"pointer_writes"`
+	Compactions     int     `json:"compactions"`
+	StatsWrites     int     `json:"stats_writes"`
+	IngestedBytes   int64   `json:"ingested_bytes"`
+	CompactedBytes  int64   `json:"compacted_bytes"`
+	Amplification   float64 `json:"write_amplification"`
+	SegmentsPerTier []int   `json:"segments_per_tier"`
+}
+
+func writeOf(ws queenbee.WriteStats) writeJSONBlock {
+	return writeJSONBlock{
+		Rounds:          ws.Rounds,
+		SegmentWrites:   ws.SegmentWrites,
+		PointerWrites:   ws.PointerWrites,
+		Compactions:     ws.Compactions,
+		StatsWrites:     ws.StatsWrites,
+		IngestedBytes:   ws.IngestedBytes,
+		CompactedBytes:  ws.CompactedBytes,
+		Amplification:   ws.Amplification(),
+		SegmentsPerTier: ws.SegmentsPerTier,
+	}
+}
+
+// rankJSON renders rank freshness: the latest finalized epoch, the
+// last exact (full) epoch, the delta epochs since, and the pages
+// dirtied but not yet covered by any epoch.
+type rankJSON struct {
+	Epoch           uint64 `json:"epoch"`
+	LastFull        uint64 `json:"last_full_epoch"`
+	DeltasSinceFull int    `json:"deltas_since_full"`
+	DirtyPages      int    `json:"dirty_pages"`
+}
+
+func rankOf(rs queenbee.RankStatus) rankJSON {
+	return rankJSON{
+		Epoch:           rs.Epoch,
+		LastFull:        rs.LastFull,
+		DeltasSinceFull: rs.DeltasSinceFull,
+		DirtyPages:      rs.DirtyPages,
+	}
+}
+
 // statsJSON is the GET /stats body: the serving tier's per-frontend
 // load counters, aggregate cache occupancy, deadline misses, the
-// self-healing loops' repair counters, and the ingest pipeline's
-// accumulated crawl counters.
+// self-healing loops' repair counters, the ingest pipeline's
+// accumulated crawl counters, and the write path's compaction/rank
+// freshness ledger.
 type statsJSON struct {
 	PoolSize       int                 `json:"pool_size"`
 	Hedged         bool                `json:"hedged"`
@@ -426,6 +477,8 @@ type statsJSON struct {
 	Cache          queenbee.CacheStats `json:"cache"` // aggregated across the pool
 	Repair         repairJSON          `json:"repair"`
 	Ingest         ingestJSON          `json:"ingest"`
+	Write          writeJSONBlock      `json:"write"`
+	Rank           rankJSON            `json:"rank"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -439,6 +492,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Frontends:      make([]frontendJSON, 0, len(ps.Frontends)),
 		Repair:         repairOf(s.engine.RepairStats()),
 		Ingest:         ingestOf(s.engine.IngestStats()),
+		// Both served from in-memory accumulators — no DHT reads, so
+		// polling /stats never consumes simulation RNG draws.
+		Write: writeOf(s.engine.WriteStats()),
+		Rank:  rankOf(s.engine.RankStatus()),
 	}
 	for _, fl := range ps.Frontends {
 		out.Frontends = append(out.Frontends, frontendJSON{

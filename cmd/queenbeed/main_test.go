@@ -198,6 +198,35 @@ func TestStatsEndpoint(t *testing.T) {
 	if out.Cache.SegBudget == 0 {
 		t.Fatalf("aggregate cache stats missing budgets: %+v", out.Cache)
 	}
+
+	// Write-path block: the boot's publish rounds left a ledger — rounds
+	// driven, segments put, bytes ingested — and the per-tier histogram
+	// accounts for every live segment chain.
+	if out.Write.Rounds == 0 || out.Write.SegmentWrites == 0 || out.Write.PointerWrites == 0 {
+		t.Fatalf("write block empty after indexing boot: %+v", out.Write)
+	}
+	if out.Write.IngestedBytes == 0 {
+		t.Fatalf("no ingested bytes accounted: %+v", out.Write)
+	}
+	if out.Write.Amplification < 1 {
+		t.Fatalf("write amplification %v < 1 with ingested bytes booked", out.Write.Amplification)
+	}
+	tiered := 0
+	for _, n := range out.Write.SegmentsPerTier {
+		tiered += n
+	}
+	if tiered == 0 {
+		t.Fatalf("per-tier histogram accounts no segments: %+v", out.Write)
+	}
+
+	// Rank block: the boot ran one full epoch, so freshness reports it
+	// as both the latest and the last exact epoch, with no delta drift.
+	if out.Rank.Epoch == 0 || out.Rank.LastFull != out.Rank.Epoch {
+		t.Fatalf("rank block = %+v, want a finalized full epoch", out.Rank)
+	}
+	if out.Rank.DeltasSinceFull != 0 {
+		t.Fatalf("full-epoch boot reports delta drift: %+v", out.Rank)
+	}
 }
 
 // TestSearchDeadline: a simulated deadline shorter than one shard RTT

@@ -34,6 +34,13 @@ type CrawlOptions struct {
 	DedupThreshold   float64
 	FetchFailRate    float64
 	MeanFetchLatency time.Duration
+	// RankEvery drives one delta-scheduled page-rank epoch after every
+	// RankEvery batches (0 = never), so rank freshness rides the crawl
+	// instead of waiting for a terminal ComputeRanks. RankPartitions is
+	// each epoch's partition count (0 = one partition). The full-recompute
+	// cadence comes from WithRankFullEvery.
+	RankEvery      int
+	RankPartitions int
 }
 
 // Crawl runs the streaming ingest pipeline against this deployment:
@@ -68,6 +75,8 @@ func (e *Engine) Crawl(ctx context.Context, seeds []string, o CrawlOptions) (Ing
 			DedupThreshold:   o.DedupThreshold,
 			FetchFailRate:    o.FetchFailRate,
 			MeanFetchLatency: o.MeanFetchLatency,
+			RankEvery:        o.RankEvery,
+			RankPartitions:   o.RankPartitions,
 		})
 	e.ingestMu.Lock()
 	e.ingest.Merge(st)

@@ -157,6 +157,44 @@
 // speedup. cmd/queenbeed boots from a crawl with -crawl and surfaces the
 // counters under GET /stats.
 //
+// # Write-path scaling: tiered compaction and rank epochs
+//
+// The write side stays affordable as the corpus grows (docs/indexing.md
+// has the full policy). Each shard pointer runs size-tiered compaction:
+// fresh batch segments enter tier 0, any tier reaching 4 runs merges —
+// whole bucket, at most one merge per shard per round — into the next
+// tier, and merged runs are restricted to the terms that hash to their
+// shard (full doc-length tombstones retained, so shadowing survives the
+// restriction). Write amplification is therefore bounded by the tier
+// count — each ingested byte is rewritten about once per tier
+// promotion, O(log rounds) tiers — instead of growing with history;
+// Engine.WriteStats ledgers ingested vs compacted bytes and
+// RoundReceipt carries the per-round figure. WithMonolithicCompaction
+// restores the legacy whole-chain merge as an experiment control, with
+// search responses byte-identical across policies.
+//
+// The rank-epoch contract: PageRank refreshes ride the publish stream
+// as epochs. A full epoch (ComputeRanks) recomputes the whole graph; a
+// delta epoch (ComputeRanksDelta, or the crawl's RankEvery cadence)
+// re-walks only the dirty closure — pages edited since the last epoch
+// plus everything reachable from them — warm-started from the previous
+// vector, at cost proportional to the closure, not the graph. Delta
+// epochs are approximate BY DESIGN: unreached ranks keep their stale
+// values, drift is bounded by the residual tolerance, and top-k
+// ordering is preserved for any head separated by more than the drift.
+// Exactness has an escape hatch, not an apology: every
+// WithRankFullEvery(n)-th epoch runs full (default 4), and a caller
+// needing exact ranks runs one full epoch to zero all drift.
+// Engine.RankStatus reports the epoch counter, the last full epoch and
+// deltas-since-full, so staleness is observable; dirty sets are
+// snapshotted on-chain in sorted order, so epochs are deterministic and
+// commit-reveal verifiable like any other task. TestScaleMillion drives
+// the whole write path — crawl, tiered compaction, delta epochs closed
+// by a full epoch, then serving — at 10^4 pages in CI (-short), 10^5
+// under QUEENBEE_SCALE_CI=1 and the full million under QUEENBEE_SCALE=1,
+// with heap and write-amplification budgets asserted; E19 tabulates
+// flat-vs-linear compaction cost and closure-vs-graph rank cost.
+//
 // # Static enforcement
 //
 // The determinism and cost-accounting contract is enforced statically

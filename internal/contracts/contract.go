@@ -113,6 +113,8 @@ type QueenBee struct {
 	pageRanks  map[string]float64 // latest finalized ranks
 	rankEpoch  uint64             // latest finalized epoch
 	rankGen    uint64             // bumped on every pageRanks mutation (RankGen)
+	dirtyPages map[string]bool    // pages touched since the last epoch snapshot
+	fullEpoch  uint64             // latest finalized full (non-delta) epoch
 
 	paidPopularity map[string]bool // "epoch:url" → paid
 
@@ -137,6 +139,7 @@ func New(cfg Config) *QueenBee {
 		ads:            make(map[uint64]*Ad),
 		rankEpochs:     make(map[uint64]*RankEpoch),
 		pageRanks:      make(map[string]float64),
+		dirtyPages:     make(map[string]bool),
 		paidPopularity: make(map[string]bool),
 	}
 }

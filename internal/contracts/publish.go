@@ -58,6 +58,9 @@ func (q *QueenBee) registerPageLocked(ctx *chain.TxContext, p PublishParams) *Pa
 	rec.CID = p.CID
 	rec.Height = ctx.Height
 	rec.Links = append([]string(nil), p.Links...)
+	// Every publish (new page or new version) dirties the link graph; the
+	// next delta rank epoch snapshots and re-walks exactly this set.
+	q.dirtyPages[p.URL] = true
 
 	ctx.Emit(EventPublished, map[string]string{
 		"url": p.URL,

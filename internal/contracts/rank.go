@@ -12,11 +12,23 @@ import (
 // RankEpoch tracks one distributed page-rank computation: the link graph
 // is split into partitions, each verified by its own quorum task; the
 // epoch finalizes when every partition task has finalized.
+//
+// A Delta epoch carries the on-chain dirty snapshot: the sorted URLs
+// published (new pages or new versions) since the previous epoch's
+// snapshot. Every assignee computes the same delta from the same inputs
+// — the finalized rank vector plus this snapshot — so quorum digests
+// still agree; the rank-epoch contract in the package doc of the root
+// module (doc.go) states the exactness terms.
 type RankEpoch struct {
 	Epoch      uint64
 	Partitions int
 	Finalized  int
 	Done       bool
+
+	// Delta marks an incremental epoch; Dirty is its snapshot, sorted so
+	// every bee iterates it identically (never map order).
+	Delta bool
+	Dirty []string
 }
 
 // RankEntry is one page's rank inside a rank-task result. Results are
@@ -44,10 +56,14 @@ func DecodeRankResult(data []byte) ([]RankEntry, error) {
 	return out, nil
 }
 
-// CreateRankEpochParams opens the rank tasks for one epoch.
+// CreateRankEpochParams opens the rank tasks for one epoch. Delta asks
+// for an incremental epoch: the contract snapshots the pages dirtied
+// since the last epoch into the epoch record and the assignees re-walk
+// only the subgraph reachable from them.
 type CreateRankEpochParams struct {
 	Epoch      uint64
 	Partitions int
+	Delta      bool
 }
 
 // RankTaskID names the task for one partition of one epoch.
@@ -66,7 +82,16 @@ func (q *QueenBee) execCreateRankEpoch(ctx *chain.TxContext, params []byte) erro
 	if _, dup := q.rankEpochs[p.Epoch]; dup {
 		return fmt.Errorf("queenbee: rank epoch %d already exists", p.Epoch)
 	}
-	q.rankEpochs[p.Epoch] = &RankEpoch{Epoch: p.Epoch, Partitions: p.Partitions}
+	re := &RankEpoch{Epoch: p.Epoch, Partitions: p.Partitions, Delta: p.Delta}
+	if p.Delta {
+		re.Dirty = sortedBoolKeys(q.dirtyPages)
+	}
+	// Full or delta, this epoch covers the graph as of now: reset the
+	// dirty set so the next delta snapshot is relative to this epoch. (An
+	// epoch that later fails to finalize under-counts staleness — the
+	// escape-hatch full recompute bounds the damage.)
+	q.dirtyPages = make(map[string]bool)
+	q.rankEpochs[p.Epoch] = re
 	for part := 0; part < p.Partitions; part++ {
 		q.createTaskLocked(ctx, RankTaskID(p.Epoch, part), TaskRank, map[string]string{
 			"epoch":     strconv.FormatUint(p.Epoch, 10),
@@ -107,10 +132,55 @@ func (q *QueenBee) onRankTaskFinalizedLocked(ctx *chain.TxContext, t *Task) {
 		if epoch > q.rankEpoch {
 			q.rankEpoch = epoch
 		}
+		if !re.Delta && epoch > q.fullEpoch {
+			q.fullEpoch = epoch
+		}
 		ctx.Emit(EventRankEpochFinalized, map[string]string{
 			"epoch": strconv.FormatUint(epoch, 10),
 		})
 	}
+}
+
+// RankStaleness is the freshness summary serving surfaces report: the
+// latest finalized epoch, the latest finalized FULL epoch (the last
+// time the vector was exact rather than delta-approximated), how many
+// epochs of drift have accumulated since, and how many pages have been
+// dirtied since the last epoch snapshot (i.e. are not yet covered by
+// any epoch).
+type RankStaleness struct {
+	Epoch           uint64
+	LastFull        uint64
+	DeltasSinceFull int
+	DirtyPages      int
+}
+
+// RankStaleness returns the current freshness summary. Safe for
+// concurrent use; queenbeed serves it in the /stats write-path block.
+func (q *QueenBee) RankStaleness() RankStaleness {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	st := RankStaleness{
+		Epoch:      q.rankEpoch,
+		LastFull:   q.fullEpoch,
+		DirtyPages: len(q.dirtyPages),
+	}
+	for e, re := range q.rankEpochs {
+		if re.Done && re.Delta && e > q.fullEpoch {
+			st.DeltasSinceFull++
+		}
+	}
+	return st
+}
+
+// sortedBoolKeys returns a set's keys in sorted order — the only order
+// in which a dirty snapshot may reach the chain.
+func sortedBoolKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // PageRank returns a page's latest finalized rank (0 if unranked).

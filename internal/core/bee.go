@@ -163,7 +163,9 @@ func (b *WorkerBee) collectWins() (contribs []contribution, count int, cost nets
 			continue
 		}
 		count++ // only a segment that actually landed counts as materialized
-		contribs = append(contribs, b.contributionFor(task, seg, pr.digest))
+		ctr := b.contributionFor(task, seg, pr.digest)
+		ctr.bytes = len(pr.result)
+		contribs = append(contribs, ctr)
 	}
 	return contribs, count, cost, errs
 }
@@ -295,7 +297,12 @@ func (b *WorkerBee) buildRankResult(task contracts.Task) ([]byte, error) {
 		return nil, fmt.Errorf("task %q: unknown rank epoch %d", task.ID, epoch)
 	}
 	g := rank.NewGraph(b.cluster.QB.LinkGraph())
-	res := rank.Compute(g, rank.DefaultOptions())
+	var res rank.Result
+	if re.Delta {
+		res = b.deltaRank(g, re)
+	} else {
+		res = rank.Compute(g, rank.DefaultOptions())
+	}
 	ranks := res.Ranks
 
 	if b.DetectDuplicates {
@@ -321,4 +328,35 @@ func (b *WorkerBee) buildRankResult(task contracts.Task) ([]byte, error) {
 		entries = append(entries, contracts.RankEntry{URL: g.URL(i), Rank: ranks[i]})
 	}
 	return contracts.EncodeRankResult(entries), nil
+}
+
+// deltaRank runs the incremental rank pass for a delta epoch. Every
+// input is finalized chain state — the link graph, the previous rank
+// vector, and the epoch's dirty snapshot — so all quorum bees compute
+// identical bytes. The dirty set is the snapshot's URLs mapped to graph
+// nodes plus every node the previous vector has never ranked (pages
+// published after the last epoch started); ComputeDelta sorts and
+// deduplicates it.
+func (b *WorkerBee) deltaRank(g *rank.Graph, re contracts.RankEpoch) rank.Result {
+	prevMap := b.cluster.QB.PageRanks()
+	if len(prevMap) == 0 {
+		// Nothing to warm-start from: first epoch ever ran as delta.
+		return rank.Compute(g, rank.DefaultOptions())
+	}
+	prev := make([]float64, g.Size())
+	var dirty []int
+	for i := 0; i < g.Size(); i++ {
+		r, ok := prevMap[g.URL(i)]
+		if !ok {
+			dirty = append(dirty, i)
+			continue
+		}
+		prev[i] = r
+	}
+	for _, u := range re.Dirty {
+		if idx, ok := g.NodeOf(u); ok {
+			dirty = append(dirty, idx)
+		}
+	}
+	return rank.ComputeDelta(g, prev, dirty, rank.DefaultOptions())
 }

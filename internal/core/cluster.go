@@ -87,6 +87,20 @@ type Config struct {
 	// Results are byte-identical either way; only the work differs.
 	ExhaustiveScoring bool
 
+	// MonolithicCompaction restores the legacy compaction policy (merge a
+	// shard's whole chain into one segment past a fixed threshold) instead
+	// of the size-tiered default. Search results are byte-identical either
+	// way; only write amplification differs — the E19 baseline and the
+	// TestWriteTieredMatchesMonolithic control.
+	MonolithicCompaction bool
+
+	// RankFullEvery makes every Nth rank epoch started through
+	// StartRankEpochDelta a full recompute instead of a delta — the
+	// exactness escape hatch bounding the frozen-subgraph approximation's
+	// drift. Zero selects the default (4); negative disables full
+	// recomputes entirely (every epoch after the first is a delta).
+	RankFullEvery int
+
 	Net      netsim.Config
 	DHT      dht.Config
 	Peer     store.PeerConfig
@@ -151,6 +165,13 @@ type Cluster struct {
 	faultEpoch time.Time
 	repairMu   sync.Mutex
 	repair     RepairStats
+
+	// Write-path accounting (see WriteStats): accumulated round counters
+	// plus the latest per-shard tier layout, guarded so serving surfaces
+	// (queenbeed GET /stats) can read them while rounds run.
+	writeMu    sync.Mutex
+	write      WriteStats
+	shardTiers map[int][]int // shard → levels of its current chain
 }
 
 // treasurySupply is the genesis allocation the faucet draws from.
@@ -177,12 +198,13 @@ func NewCluster(cfg Config) *Cluster {
 	cfg.Net.Seed = cfg.Seed + 1
 
 	c := &Cluster{
-		cfg:      cfg,
-		Clock:    vclock.New(time.Time{}),
-		Net:      netsim.New(cfg.Net),
-		treasury: chain.NewNamedAccount(cfg.Seed, "treasury"),
-		nonces:   make(map[chain.Address]uint64),
-		rng:      xrand.New(cfg.Seed),
+		cfg:        cfg,
+		Clock:      vclock.New(time.Time{}),
+		Net:        netsim.New(cfg.Net),
+		treasury:   chain.NewNamedAccount(cfg.Seed, "treasury"),
+		nonces:     make(map[chain.Address]uint64),
+		rng:        xrand.New(cfg.Seed),
+		shardTiers: make(map[int][]int),
 	}
 	c.Chain = chain.New(c.Clock, map[chain.Address]uint64{
 		c.treasury.Address(): treasurySupply,
@@ -364,6 +386,7 @@ func (c *Cluster) ProcessRoundReceipt() RoundReceipt {
 	if c.cfg.Maintenance {
 		c.RunMaintenance()
 	}
+	c.noteRoundReceipt(r)
 	return r
 }
 
@@ -391,6 +414,36 @@ func (c *Cluster) StartRankEpoch(partitions int) uint64 {
 	c.Seal()
 	return epoch
 }
+
+// StartRankEpochDelta starts a rank epoch on the incremental schedule:
+// a delta epoch (bees re-walk only the subgraph reachable from pages
+// dirtied since the last epoch, warm-started from the finalized vector)
+// unless exactness is due — the first epoch ever, or every
+// RankFullEvery'th epoch, runs a full recompute so the frozen-subgraph
+// approximation's drift is periodically reset to zero. Epochs started
+// here must be driven to finalization (RunUntilIdle) before the next
+// one starts: a delta epoch's inputs are the finalized vector and the
+// dirty snapshot taken at creation.
+func (c *Cluster) StartRankEpochDelta(partitions int) uint64 {
+	c.nextRankEpoch++
+	epoch := c.nextRankEpoch
+	delta := c.QB.LatestRankEpoch() > 0
+	every := c.cfg.RankFullEvery
+	if every == 0 {
+		every = DefaultRankFullEvery
+	}
+	if every > 0 && epoch%uint64(every) == 0 {
+		delta = false
+	}
+	c.SubmitCall(c.treasuryAccount(), contracts.MethodCreateRankEpoch,
+		contracts.CreateRankEpochParams{Epoch: epoch, Partitions: partitions, Delta: delta}, 0)
+	c.Seal()
+	return epoch
+}
+
+// DefaultRankFullEvery is the exactness cadence Config.RankFullEvery=0
+// selects: every 4th epoch on the delta schedule is a full recompute.
+const DefaultRankFullEvery = 4
 
 // PayPopularity triggers the threshold reward for a finalized epoch.
 func (c *Cluster) PayPopularity(epoch uint64) *chain.Tx {

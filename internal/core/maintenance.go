@@ -23,8 +23,11 @@ type RepairStats struct {
 	// pushed back to the current k closest nodes.
 	Republished int
 	// Reseeded counts immutable segments re-materialized from a surviving
-	// replica after their replication dropped below K.
-	Reseeded int
+	// replica after their replication dropped below K; ReseededBytes is
+	// the segment bytes those re-puts rewrote — maintenance's share of
+	// the write-amplification ledger next to compaction's CompactedBytes.
+	Reseeded      int
+	ReseededBytes int64
 	// SegmentsLost gauges segments referenced by a pointer chain with no
 	// reachable replica as of the most recent pass — data repair cannot
 	// currently recover. A gauge, not a cumulative counter: a segment
@@ -151,6 +154,7 @@ func (c *Cluster) RunMaintenance() RepairStats {
 			pass.Cost = pass.Cost.Seq(cost)
 			if err == nil {
 				pass.Reseeded++
+				pass.ReseededBytes += int64(len(raw))
 			}
 		}
 	}
@@ -188,6 +192,7 @@ func (c *Cluster) RunMaintenance() RepairStats {
 	c.repair.ProbedKeys += pass.ProbedKeys
 	c.repair.Republished += pass.Republished
 	c.repair.Reseeded += pass.Reseeded
+	c.repair.ReseededBytes += pass.ReseededBytes
 	c.repair.SegmentsLost = pass.SegmentsLost // gauge: the latest pass's view
 	c.repair.Reprovided += pass.Reprovided
 	c.repair.Cost = c.repair.Cost.Seq(pass.Cost)

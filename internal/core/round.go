@@ -86,6 +86,16 @@ type RoundReceipt struct {
 	Compactions   int
 	StatsWrites   int
 
+	// IngestedBytes is the round's new segment bytes (each winning
+	// segment counted once, however many shards its terms hash to);
+	// CompactedBytes is the merged-segment bytes compaction rewrote. The
+	// write-amplification claim E19 tabulates is their ratio over a
+	// steady-ingest run: (ingested+compacted)/ingested stays
+	// O(log shard bytes) under the tiered policy and grows O(shard
+	// bytes) under the monolithic one.
+	IngestedBytes  int64
+	CompactedBytes int64
+
 	// Errors lists every write-path failure of the round, also recorded
 	// on the failing bee's Errs.
 	Errors []RoundError
@@ -110,6 +120,7 @@ type contribution struct {
 	bee     *WorkerBee
 	taskID  string
 	digest  string
+	bytes   int   // encoded segment size (ingested bytes, counted once)
 	shards  []int // sorted
 	newDocs int
 	tokens  uint64
@@ -249,6 +260,9 @@ func (c *Cluster) materializePass(r *RoundReceipt) {
 		r.SegmentWrites += len(contribsBy[i])
 		all = append(all, contribsBy[i]...)
 	}
+	for _, ctr := range all {
+		r.IngestedBytes += int64(ctr.bytes)
+	}
 
 	// Deterministic batch order: contributions sorted by task ID (each
 	// task has exactly one designated writer, so IDs are unique), shards
@@ -273,6 +287,8 @@ func (c *Cluster) materializePass(r *RoundReceipt) {
 	shardCosts := make([]netsim.Cost, len(shardOrder))
 	shardWrote := make([]bool, len(shardOrder))
 	shardCompacted := make([]bool, len(shardOrder))
+	shardBytes := make([]int64, len(shardOrder))
+	shardPtrs := make([]ShardPointer, len(shardOrder))
 	shardErrs := make([][]RoundError, len(shardOrder))
 	// Fan out by WRITER, not by shard: two concurrent legs on the same
 	// writer's node would interleave draws on its shared (caller,target)
@@ -293,16 +309,34 @@ func (c *Cluster) materializePass(r *RoundReceipt) {
 		w := writers[wi]
 		for _, j := range legsByWriter[w] {
 			s := shardOrder[j]
-			ptr, cost, wrote, err := appendSegmentsToShard(w.Peer.DHT(), s, digestsByShard[s])
-			shardCosts[j] = cost
-			shardWrote[j] = wrote
-			if err != nil {
-				shardErrs[j] = append(shardErrs[j], RoundError{Bee: w.Name, Shard: s, Stage: "shard-append", Err: err})
+			if c.cfg.MonolithicCompaction {
+				// Legacy policy (the E19 control): append in one RMW, then
+				// merge the whole chain into one segment past the threshold
+				// (a second pointer write when it fires).
+				ptr, cost, wrote, err := appendSegmentsToShard(w.Peer.DHT(), s, digestsByShard[s])
+				shardCosts[j] = cost
+				shardWrote[j] = wrote
+				shardPtrs[j] = ptr
+				if err != nil {
+					shardErrs[j] = append(shardErrs[j], RoundError{Bee: w.Name, Shard: s, Stage: "shard-append", Err: err})
+					continue
+				}
+				ptr, cost, compacted, mergedBytes, err := compactShardFromPtr(w.Peer.DHT(), s, ptr)
+				shardCosts[j] = shardCosts[j].Seq(cost)
+				shardCompacted[j] = compacted
+				shardBytes[j] = mergedBytes
+				shardPtrs[j] = ptr
+				if err != nil {
+					shardErrs[j] = append(shardErrs[j], RoundError{Bee: w.Name, Shard: s, Stage: "compact", Err: err})
+				}
 				continue
 			}
-			cost, compacted, err := compactShardFromPtr(w.Peer.DHT(), s, ptr)
-			shardCosts[j] = shardCosts[j].Seq(cost)
-			shardCompacted[j] = compacted
+			ptr, cost, wrote, res, err := materializeShardTiered(w.Peer.DHT(), s, c.cfg.NumShards, digestsByShard[s])
+			shardCosts[j] = cost
+			shardWrote[j] = wrote
+			shardCompacted[j] = res.Compacted
+			shardBytes[j] = res.CompactedBytes
+			shardPtrs[j] = ptr
 			if err != nil {
 				shardErrs[j] = append(shardErrs[j], RoundError{Bee: w.Name, Shard: s, Stage: "compact", Err: err})
 			}
@@ -321,8 +355,10 @@ func (c *Cluster) materializePass(r *RoundReceipt) {
 		}
 		if shardCompacted[j] {
 			r.Compactions++
+			r.CompactedBytes += shardBytes[j]
 		}
 	}
+	c.noteShardTiers(shardOrder, shardWrote, shardPtrs)
 
 	// One stats bump for the whole pass, aggregated across every
 	// contribution (re-published pages contribute zero but the version

@@ -14,9 +14,30 @@ import (
 // index shard. Segments themselves are immutable, content-addressed
 // records; the pointer is versioned (DHT sequence numbers) so later
 // updates win.
+//
+// Levels records each run's compaction tier under the tiered policy:
+// Levels[i] is the tier of Digests[i] (0 = a raw round segment, k = the
+// product of k merges). A nil Levels — a pre-tiered pointer, or one
+// written by the monolithic policy — means every run is level 0. The
+// tiered writer maintains the invariant that levels are non-increasing
+// along the chain (appends land level-0 runs at the end; a merge
+// replaces a level's contiguous run block with one higher-level run at
+// the block's start), which is what makes every merge a contiguous,
+// precedence-preserving splice under index.Merge's oldest-first
+// semantics.
 type ShardPointer struct {
 	Digests []string // segment digests, oldest first
+	Levels  []int    `json:",omitempty"` // compaction tier per digest (nil = all level 0)
 	Version uint64
+}
+
+// levelOf returns the tier of run i, treating a nil/short Levels slice
+// as level 0 (legacy pointers).
+func (p ShardPointer) levelOf(i int) int {
+	if i < len(p.Levels) {
+		return p.Levels[i]
+	}
+	return 0
 }
 
 // IndexStats is the global record frontends use for BM25 collection
@@ -159,19 +180,21 @@ const compactionThreshold = 8
 
 // compactShardFromPtr merges a shard's segment chain into one segment
 // when it has grown past the threshold, reusing the caller's
-// already-read pointer (no extra DHT read). Reports whether a
-// compaction happened.
-func compactShardFromPtr(d *dht.Node, shard int, ptr ShardPointer) (netsim.Cost, bool, error) {
+// already-read pointer (no extra DHT read). This is the monolithic
+// policy (Config.MonolithicCompaction — the E19 control): every firing
+// rewrites O(shard bytes). Returns the pointer as written, whether a
+// compaction happened, and the merged bytes it rewrote.
+func compactShardFromPtr(d *dht.Node, shard int, ptr ShardPointer) (ShardPointer, netsim.Cost, bool, int64, error) {
 	var cost netsim.Cost
 	if len(ptr.Digests) < compactionThreshold {
-		return cost, false, nil
+		return ptr, cost, false, 0, nil
 	}
 	var segs []*index.Segment
 	for _, dg := range ptr.Digests {
 		seg, c2, err := readSegment(d, dg)
 		cost = cost.Seq(c2)
 		if err != nil {
-			return cost, false, err
+			return ptr, cost, false, 0, err
 		}
 		segs = append(segs, seg)
 	}
@@ -181,10 +204,158 @@ func compactShardFromPtr(d *dht.Node, shard int, ptr ShardPointer) (netsim.Cost,
 	wcost, err := writeSegment(d, digest, data)
 	cost = cost.Seq(wcost)
 	if err != nil {
-		return cost, false, err
+		return ptr, cost, false, 0, err
 	}
 	ptr.Digests = []string{digest}
 	ptr.Version++
 	wcost, err = writeShardPointer(d, shard, ptr)
-	return cost.Seq(wcost), err == nil, err
+	return ptr, cost.Seq(wcost), err == nil, int64(len(data)), err
+}
+
+// tieredFanout is the size-tiered compaction fan-out: once a level holds
+// this many runs, all of them merge into one run at the next level. With
+// one round segment landing per round, each ingested byte is rewritten
+// once per level promotion, so steady-state bytes rewritten per round is
+// O(round bytes · log_fanout(shard bytes)) instead of the monolithic
+// policy's O(shard bytes).
+const tieredFanout = 4
+
+// tieredResult reports what one tiered shard materialization did beyond
+// the plain append.
+type tieredResult struct {
+	// Compacted reports whether a merge happened; Level is the tier that
+	// merged (meaningful only when Compacted).
+	Compacted bool
+	Level     int
+	// CompactedBytes is the size of the merged segment written — the
+	// write-amplification numerator next to the round's ingested bytes.
+	CompactedBytes int64
+}
+
+// materializeShardTiered is the tiered write path: ONE pointer
+// read-modify-write that both appends the round's level-0 segments and
+// applies at most one merge. After the append, the lowest level holding
+// at least tieredFanout runs (if any) has ALL its runs merged into one
+// run at the next level — merging the whole bucket is what absorbs
+// bursty rounds that land many segments on one shard at once. Tier
+// selection, merge membership and the spliced chain order are pure
+// functions of the pointer just read, never of map order or scheduling.
+//
+// Merged runs are restricted to the shard's own terms (numShards > 0):
+// a round's level-0 segment covers the whole batch and lands on every
+// shard its terms hash to, so merging it unrestricted would rewrite the
+// full batch bytes once PER SHARD — write amplification multiplied by
+// the shard fan-in. Restriction keeps each shard's rewrites to its own
+// share (plus the full DocLens tombstone set; see Segment.Restrict),
+// which is what holds global amplification to O(tiers), not
+// O(tiers × shards). Queries never notice: a term is only ever looked
+// up on the shard it hashes to.
+//
+// The chain a reader merges stays logically identical to the unmerged
+// one: level-0 runs enter in chain order = Gen order, the levels along
+// the chain are non-increasing, so a level's runs form a contiguous
+// block and replacing the block with its index.Merge (oldest-first,
+// newer-shadows-older) preserves document precedence exactly. Search
+// results are byte-identical to the monolithic policy's
+// (TestWriteTieredMatchesMonolithic asserts it).
+func materializeShardTiered(d *dht.Node, shard, numShards int, digests []string) (ptr ShardPointer, cost netsim.Cost, wrote bool, res tieredResult, err error) {
+	ptr, cost, err = readShardPointer(d, shard)
+	if err != nil && err != dht.ErrNotFound {
+		return ptr, cost, false, res, err
+	}
+	err = nil // a missing pointer just means a fresh shard
+	existing := make(map[string]bool, len(ptr.Digests))
+	for _, dg := range ptr.Digests {
+		existing[dg] = true
+	}
+	// Normalize legacy pointers so Levels tracks Digests 1:1 from here on.
+	for len(ptr.Levels) < len(ptr.Digests) {
+		ptr.Levels = append(ptr.Levels, 0)
+	}
+	appended := false
+	for _, dg := range digests {
+		if existing[dg] {
+			continue
+		}
+		existing[dg] = true
+		ptr.Digests = append(ptr.Digests, dg)
+		ptr.Levels = append(ptr.Levels, 0)
+		appended = true
+	}
+
+	// Deterministic tier selection: the lowest level with a full bucket.
+	counts := make(map[int]int)
+	maxLevel := 0
+	for i := range ptr.Digests {
+		l := ptr.levelOf(i)
+		counts[l]++
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	mergeLevel := -1
+	for l := 0; l <= maxLevel; l++ { // ascending scan, never map order
+		if counts[l] >= tieredFanout {
+			mergeLevel = l
+			break
+		}
+	}
+
+	if mergeLevel >= 0 {
+		var segs []*index.Segment
+		var keepDigests []string
+		var keepLevels []int
+		spliceAt := -1
+		for i, dg := range ptr.Digests {
+			if ptr.levelOf(i) == mergeLevel {
+				seg, c2, rerr := readSegment(d, dg)
+				cost = cost.Seq(c2)
+				if rerr != nil {
+					// Leave the chain unmerged; the append (if any) must
+					// still land, so fall through to the pointer write.
+					err = rerr
+					break
+				}
+				segs = append(segs, seg)
+				if spliceAt < 0 {
+					spliceAt = len(keepDigests)
+					keepDigests = append(keepDigests, "") // placeholder for the merged run
+					keepLevels = append(keepLevels, mergeLevel+1)
+				}
+				continue
+			}
+			keepDigests = append(keepDigests, dg)
+			keepLevels = append(keepLevels, ptr.levelOf(i))
+		}
+		if err == nil {
+			merged := index.Merge(segs)
+			if numShards > 0 {
+				merged = merged.Restrict(func(t string) bool { return index.ShardOf(t, numShards) == shard })
+			}
+			data := merged.Encode()
+			digest := index.DigestOf(data)
+			var wcost netsim.Cost
+			wcost, err = writeSegment(d, digest, data)
+			cost = cost.Seq(wcost)
+			if err == nil {
+				keepDigests[spliceAt] = digest
+				ptr.Digests = keepDigests
+				ptr.Levels = keepLevels
+				res.Compacted = true
+				res.Level = mergeLevel
+				res.CompactedBytes = int64(len(data))
+			}
+		}
+	}
+
+	if !appended && !res.Compacted {
+		return ptr, cost, false, res, err
+	}
+	ptr.Version++
+	wcost, werr := writeShardPointer(d, shard, ptr)
+	cost = cost.Seq(wcost)
+	if werr != nil {
+		return ptr, cost, false, res, werr
+	}
+	return ptr, cost, true, res, err
 }

@@ -9,10 +9,10 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("registered %d experiments, want 17", len(all))
+	if len(all) != 18 {
+		t.Fatalf("registered %d experiments, want 18", len(all))
 	}
-	// E1..E14 consecutively, then E16..E18 (E15 is reserved).
+	// E1..E14 consecutively, then E16..E19 (E15 is reserved).
 	for i, e := range all {
 		var want string
 		switch {
@@ -114,6 +114,65 @@ func TestE17PipelinedBeatsSerial(t *testing.T) {
 	speedup, err := strconv.ParseFloat(tb.Cell(1, 7), 64)
 	if err != nil || speedup <= 1 {
 		t.Fatalf("speedup cell %q (%v), want > 1", tb.Cell(1, 7), err)
+	}
+}
+
+// TestE19WritePathScaling encodes the ISSUE 10 acceptance shape: as the
+// run length quadruples, the tiered policy's steady-state bytes per
+// round stay flat (within the documented ~2× log-factor) while the
+// monolithic policy's grow at least 2×; the tiered run's cumulative
+// write amplification beats the monolithic run's at every scale. On the
+// rank side, the delta epoch must cost strictly less than the full
+// recompute at every graph size while keeping the top-10 exact.
+func TestE19WritePathScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavyweight")
+	}
+	e, _ := ByID("E19")
+	tables := e.Run(1)
+	if len(tables) != 2 {
+		t.Fatalf("E19 produced %d tables, want 2", len(tables))
+	}
+
+	comp := tables[0]
+	if comp.Rows() != 3 {
+		t.Fatalf("compaction table rows = %d, want 3", comp.Rows())
+	}
+	cell := func(tb interface{ Cell(int, int) string }, r, c int) float64 {
+		v, err := strconv.ParseFloat(tb.Cell(r, c), 64)
+		if err != nil {
+			t.Fatalf("cell (%d,%d) = %q: %v", r, c, tb.Cell(r, c), err)
+		}
+		return v
+	}
+	monoFirst, monoLast := cell(comp, 0, 1), cell(comp, 2, 1)
+	tieredFirst, tieredLast := cell(comp, 0, 2), cell(comp, 2, 2)
+	if monoLast < 2*monoFirst {
+		t.Fatalf("monolithic bytes/round grew only %.0f -> %.0f over 4x rounds; expected ~linear growth",
+			monoFirst, monoLast)
+	}
+	if tieredLast > 2.5*tieredFirst {
+		t.Fatalf("tiered bytes/round grew %.0f -> %.0f over 4x rounds; expected flat (±2x)",
+			tieredFirst, tieredLast)
+	}
+	for r := 0; r < comp.Rows(); r++ {
+		if monoAmp, tieredAmp := cell(comp, r, 3), cell(comp, r, 4); tieredAmp >= monoAmp {
+			t.Fatalf("row %d: tiered amplification %.2f not below monolithic %.2f", r, tieredAmp, monoAmp)
+		}
+	}
+
+	rk := tables[1]
+	if rk.Rows() != 3 {
+		t.Fatalf("rank table rows = %d, want 3", rk.Rows())
+	}
+	for r := 0; r < rk.Rows(); r++ {
+		full, delta := cell(rk, r, 3), cell(rk, r, 4)
+		if delta >= full {
+			t.Fatalf("row %d: delta cost %.0f not below full cost %.0f", r, delta, full)
+		}
+		if rk.Cell(r, 7) != "true" {
+			t.Fatalf("row %d: delta epoch broke the top-10 ordering", r)
+		}
 	}
 }
 

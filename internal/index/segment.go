@@ -834,6 +834,37 @@ func (s *Segment) Validate() error {
 	return nil
 }
 
+// Restrict returns a segment holding only the terms keep accepts. The
+// DocLens set is retained IN FULL: it is the segment's tombstone set,
+// and a covered document must keep shadowing its older postings in
+// every chain — even for terms the restricted view drops — or stale
+// postings would resurface after later merges. Posting lists are shared
+// with the receiver (segments are immutable). Gen is preserved, so the
+// restricted segment keeps its place in merge precedence.
+//
+// This is what makes sharded compaction cheap: a shard's merged run
+// only needs the terms that hash to that shard (queries route term →
+// shard before ever reading a chain), so the bytes a merge rewrites
+// shrink from the whole batch segment to the shard's share of it.
+func (s *Segment) Restrict(keep func(term string) bool) *Segment {
+	terms, err := s.postingsMap()
+	if err != nil {
+		// A corrupt lazy segment contributes nothing to a merge either;
+		// returning it unrestricted keeps Restrict total.
+		return s
+	}
+	out := NewSegment(s.Gen)
+	for term, pl := range terms {
+		if keep(term) {
+			out.Terms[term] = pl
+		}
+	}
+	for d, l := range s.DocLens {
+		out.DocLens[d] = l
+	}
+	return out
+}
+
 // Merge combines segments into one. Segments are applied oldest
 // generation first; a newer segment's covered documents shadow all their
 // older postings (tombstone semantics), and its postings replace older

@@ -272,3 +272,60 @@ func TestValidateCatchesCorruption(t *testing.T) {
 		t.Fatal("zero TF should fail validation")
 	}
 }
+
+// TestSegmentRestrict covers the sharded-compaction primitive: dropped
+// terms vanish, kept terms keep their postings, and — the subtle part —
+// the full DocLens tombstone set survives, so a restricted segment still
+// shadows a document's older postings for terms the restriction dropped.
+func TestSegmentRestrict(t *testing.T) {
+	old := buildSeg(1, map[DocID]string{
+		1: "honey nectar clover",
+		2: "honey meadow",
+	})
+	// Doc 1 revised: "nectar" gone, new term appears.
+	rev := buildSeg(2, map[DocID]string{1: "honey orchard"})
+
+	keepHoney := func(term string) bool { return term == Stem("honey") }
+	r := rev.Restrict(keepHoney)
+	if r.Gen != rev.Gen {
+		t.Fatalf("restrict changed Gen: %d -> %d", rev.Gen, r.Gen)
+	}
+	if r.Postings(Stem("orchard")) != nil {
+		t.Fatal("restricted segment kept a dropped term")
+	}
+	if got := r.Postings(Stem("honey")); len(got) != 1 || got[0].Doc != 1 {
+		t.Fatalf("kept term postings = %+v", got)
+	}
+	if !r.Covers(1) {
+		t.Fatal("restriction dropped the tombstone set")
+	}
+
+	// Merging the OLD full segment with the restricted revision must
+	// still retire doc 1's stale "nectar" posting — same logical outcome
+	// as merging with the unrestricted revision, for every kept term.
+	m := Merge([]*Segment{old, r})
+	if pl := m.Postings(Stem("nectar")); len(pl) != 0 {
+		t.Fatalf("stale posting resurfaced through a restricted merge: %+v", pl)
+	}
+	want := Merge([]*Segment{old, rev})
+	for _, term := range []string{Stem("honey"), Stem("meadow"), Stem("clover")} {
+		a, b := m.Postings(term), want.Postings(term)
+		if len(a) != len(b) {
+			t.Fatalf("term %q diverged: %+v vs %+v", term, a, b)
+		}
+		for i := range a {
+			if a[i].Doc != b[i].Doc || a[i].TF != b[i].TF {
+				t.Fatalf("term %q posting %d diverged: %+v vs %+v", term, i, a, b)
+			}
+		}
+	}
+
+	// Restriction round-trips through the wire format.
+	dec, err := DecodeSegment(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.NumTerms() != 1 || !dec.Covers(1) {
+		t.Fatalf("decoded restricted segment = %d terms, covers(1)=%v", dec.NumTerms(), dec.Covers(1))
+	}
+}

@@ -70,6 +70,16 @@ type Options struct {
 	// MeanFetchLatency is the mean simulated first-byte latency; actual
 	// per-URL latency is uniform in [0.5, 1.5)× the mean.
 	MeanFetchLatency time.Duration
+	// RankEvery drives one page-rank epoch through the sink after every
+	// RankEvery flushed batches (0 = never). The sink decides full vs
+	// delta (a cluster sink uses the delta scheduler with its configured
+	// full-recompute cadence); a sink that implements no RankDriver
+	// ignores the cadence. Epochs run between rounds on the indexer
+	// goroutine, so the batch order the sink sees is unchanged.
+	RankEvery int
+	// RankPartitions is the partition count of each driven epoch
+	// (0 selects one partition).
+	RankPartitions int
 }
 
 func (o Options) withDefaults() Options {
@@ -99,6 +109,7 @@ type Stats struct {
 	Deduped     int // pages demoted as near-duplicates
 	Published   int // pages indexed through the sink
 	Batches     int // publish rounds driven
+	RankEpochs  int // page-rank epochs driven mid-crawl (Options.RankEvery)
 	RoundErrors int // per-bee errors across all round receipts
 
 	QueueDepthMax int           // peak pages simultaneously queued
@@ -142,6 +153,7 @@ func (s *Stats) Merge(o Stats) {
 	s.Deduped += o.Deduped
 	s.Published += o.Published
 	s.Batches += o.Batches
+	s.RankEpochs += o.RankEpochs
 	s.RoundErrors += o.RoundErrors
 	if o.QueueDepthMax > s.QueueDepthMax {
 		s.QueueDepthMax = o.QueueDepthMax
@@ -449,6 +461,16 @@ func (c *crawl) index() (Stats, error) {
 		st.CommitBusy += b.commit
 		st.RevealBusy += b.reveal
 		batch = batch[:0]
+		if c.opts.RankEvery > 0 && st.Batches%c.opts.RankEvery == 0 {
+			if rd, ok := c.sink.(RankDriver); ok {
+				parts := c.opts.RankPartitions
+				if parts <= 0 {
+					parts = 1
+				}
+				rd.RankEpoch(parts)
+				st.RankEpochs++
+			}
+		}
 		return nil
 	}
 	var sinkErr error

@@ -15,6 +15,14 @@ type Sink interface {
 	IndexBatch(pages []core.BatchPage) (core.RoundReceipt, error)
 }
 
+// RankDriver is the optional sink extension Options.RankEvery uses: a
+// sink implementing it can run one page-rank epoch between batches.
+// Called from the same single goroutine as IndexBatch, strictly between
+// batch flushes.
+type RankDriver interface {
+	RankEpoch(partitions int)
+}
+
 // clusterSink drives real cluster rounds.
 type clusterSink struct {
 	c     *core.Cluster
@@ -29,4 +37,13 @@ func NewClusterSink(c *core.Cluster, owner *chain.Account) Sink {
 
 func (s clusterSink) IndexBatch(pages []core.BatchPage) (core.RoundReceipt, error) {
 	return s.c.IndexBatch(s.owner, pages)
+}
+
+// RankEpoch implements RankDriver: one delta-scheduled rank epoch,
+// driven to finalization before the next batch flushes (delta epochs
+// warm-start from the previous finalized vector, so they must not
+// overlap).
+func (s clusterSink) RankEpoch(partitions int) {
+	s.c.StartRankEpochDelta(partitions)
+	s.c.RunUntilIdle(50)
 }

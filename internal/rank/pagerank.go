@@ -23,6 +23,10 @@ type Result struct {
 	Ranks      []float64
 	Iterations int
 	Residuals  []float64
+	// Active is how many nodes each iteration actually updated: the full
+	// node count for Compute/ComputeFrom, the dirty closure's size for
+	// ComputeDelta — the work metric E19's full-vs-delta table reports.
+	Active int
 }
 
 // Compute runs power iteration from the uniform vector.
@@ -55,10 +59,10 @@ func ComputeFrom(g *Graph, prev []float64, opts Options) Result {
 		residuals = append(residuals, res)
 		cur, next = next, cur
 		if res < opts.Tolerance {
-			return Result{Ranks: cur, Iterations: iter, Residuals: residuals}
+			return Result{Ranks: cur, Iterations: iter, Residuals: residuals, Active: n}
 		}
 	}
-	return Result{Ranks: cur, Iterations: opts.MaxIters, Residuals: residuals}
+	return Result{Ranks: cur, Iterations: opts.MaxIters, Residuals: residuals, Active: n}
 }
 
 // step performs one synchronous PageRank iteration into next.

@@ -160,6 +160,30 @@ func WithExhaustiveScoring(on bool) Option {
 	return func(c *core.Config) { c.ExhaustiveScoring = on }
 }
 
+// WithMonolithicCompaction switches the write path back to the legacy
+// compaction policy: once a shard's chain passes the threshold, the
+// WHOLE chain is merged into one segment — every firing rewrites
+// O(shard bytes), so steady ingest pays write amplification that grows
+// with the shard. The default (off) is tiered compaction: size-tiered
+// levels with at most one bucket merge per shard per round, keeping
+// bytes rewritten per round O(round bytes · log(shard bytes)). Search
+// results are byte-identical under either policy (property-tested); the
+// switch exists as the E19 control and as an escape hatch.
+func WithMonolithicCompaction(on bool) Option {
+	return func(c *core.Config) { c.MonolithicCompaction = on }
+}
+
+// WithRankFullEvery sets the exactness escape hatch of delta page-rank
+// epochs: every n-th epoch started by ComputeRanksDelta runs a full
+// recompute instead of an incremental pass, bounding the drift the
+// frozen-boundary approximation can accumulate. Zero selects the
+// default cadence; negative disables full recomputes entirely (every
+// epoch after the first runs delta). Engine.RankStatus reports the
+// resulting staleness.
+func WithRankFullEvery(n int) Option {
+	return func(c *core.Config) { c.RankFullEvery = n }
+}
+
 // WithSharedNetStream switches the network simulation back to the legacy
 // single RNG stream for jitter/drop draws. Simulated costs then match
 // historical golden values exactly, but concurrent queries lose per-seed

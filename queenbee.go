@@ -238,6 +238,31 @@ func (e *Engine) ComputeRanks(partitions int) uint64 {
 	return epoch
 }
 
+// ComputeRanksDelta runs one page-rank epoch like ComputeRanks, but
+// lets the contract pick the cheap path: if a finalized epoch already
+// exists (and the full-recompute cadence — WithRankFullEvery — is not
+// due), the epoch is incremental. The bees then re-walk only the
+// subgraph reachable from the pages published since the last epoch,
+// warm-started from the finalized vector, instead of iterating the
+// whole graph from scratch. RankStatus reports the accumulated
+// approximation drift.
+func (e *Engine) ComputeRanksDelta(partitions int) uint64 {
+	epoch := e.Cluster.StartRankEpochDelta(partitions)
+	e.RunUntilIdle()
+	return epoch
+}
+
+// RankStatus is the rank-freshness summary: latest finalized epoch,
+// latest finalized FULL epoch, delta epochs accumulated since, and
+// pages dirtied since the last epoch snapshot. queenbeed serves it in
+// the /stats write block.
+type RankStatus = contracts.RankStaleness
+
+// RankStatus reports the current rank freshness.
+func (e *Engine) RankStatus() RankStatus {
+	return e.Cluster.QB.RankStaleness()
+}
+
 // PageRank returns a page's finalized rank (0 if unranked).
 func (e *Engine) PageRank(url string) float64 {
 	return e.Cluster.QB.PageRank(url)
@@ -313,6 +338,12 @@ type CacheStats = core.CacheStats
 // lost, providers re-announced, and the simulated traffic spent.
 type RepairStats = core.RepairStats
 
+// WriteStats is the write path's cumulative ledger: rounds driven,
+// segment/pointer/stats puts, compactions, ingested vs compacted bytes
+// (their ratio is the write amplification E19 tabulates), and the
+// current per-tier segment histogram across all shards.
+type WriteStats = core.WriteStats
+
 // Degraded is the typed warning a partial answer carries under
 // WithDegradedReads: which shards failed, the completeness fraction,
 // and the first underlying cause.
@@ -368,6 +399,13 @@ func (e *Engine) PoolStats() PoolStats {
 // pass by hand).
 func (e *Engine) RepairStats() RepairStats {
 	return e.Cluster.RepairStats()
+}
+
+// WriteStats reports the engine's cumulative write-path ledger. Served
+// from in-memory accumulators — no DHT traffic, so calling it never
+// perturbs the simulation's RNG draws.
+func (e *Engine) WriteStats() WriteStats {
+	return e.Cluster.WriteStats()
 }
 
 // RunMaintenance drives one self-healing pass — republish, re-seed,
